@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 3 (weight repetition per filter).
+
+Paper rows: for every plotted layer of LeNet / AlexNet / ResNet-50, the
+average repetition of each non-zero weight and of the zero weight, with
+cross-filter standard deviations.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig03_repetition
+
+
+def test_fig03_repetition(benchmark, record_result):
+    result = run_once(benchmark, fig03_repetition.run)
+    rows = result.format_rows()
+    record_result(
+        "fig03_repetition",
+        ("network", "layer", "filter size", "nonzero mean", "nonzero std", "zero mean", "zero std"),
+        rows,
+        data=result,
+    )
+    # Paper's takeaway: non-zero repetition is seldom below ~10x except
+    # on the smallest (first) layers, and zero's count is the same order.
+    large = [r for r in rows if r[2] >= 800]
+    assert large and all(r[3] >= 10 for r in large)

@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 9 (normalized energy, full design sweep).
+
+Paper rows: for each (network, precision, weight density) group, the
+DRAM / L2 / PE energy of DCNN, DCNN_sp and UCNN U3/U17/U64/U256,
+normalized to DCNN of the group.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig09_energy
+
+
+def test_fig09_energy(benchmark, record_result):
+    result = run_once(benchmark, fig09_energy.run)
+    record_result(
+        "fig09_energy",
+        ("network", "bits", "density", "design", "dram", "l2", "pe", "total"),
+        result.format_rows(),
+        data=result,
+    )
+    # Headline claims (Section VI-B): at 16-bit every UCNN variant beats
+    # DCNN_sp, with the ResNet 50%-density improvements ordered
+    # U3 > U17 > U256 and roughly 1.2x-4x overall.
+    group = result.group("resnet50", 16, 0.5)
+    u3 = group.improvement_vs("UCNN U3")
+    u17 = group.improvement_vs("UCNN U17")
+    u256 = group.improvement_vs("UCNN U256")
+    assert u3 > u17 > u256 >= 1.0
+    assert 1.2 <= u3 <= 4.5
+    # At 8-bit / 90% density the U>=64 variants lose their edge
+    # (paper: they can fall behind DCNN_sp on the smaller networks).
+    g8 = result.group("lenet", 8, 0.9)
+    assert g8.improvement_vs("UCNN U256") < g8.improvement_vs("UCNN U3")

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 10 (per-layer ResNet energy breakdown).
+
+Paper rows: the four C:K:3:3 ResNet geometries at 50% density / 16-bit,
+each design normalized to DCNN for that layer.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_layer_energy
+
+
+def test_fig10_layer_energy(benchmark, record_result):
+    result = run_once(benchmark, fig10_layer_energy.run)
+    record_result(
+        "fig10_layer_energy",
+        ("layer C:K:R:S", "design", "dram", "l2", "pe", "total"),
+        result.format_rows(),
+        data=result,
+    )
+    # Paper shape: every UCNN variant stays below DCNN on every layer,
+    # and the late (512:512) layer is DRAM-dominated for dense designs.
+    for label, entries in result.groups.items():
+        by_design = {e.design: e for e in entries}
+        assert by_design["UCNN U3"].total < 1.0
+        assert by_design["UCNN U17"].total < 1.0
+    late = {e.design: e for e in result.groups["512:512:3:3"]}
+    assert late["DCNN"].dram > late["DCNN"].pe

@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 11 (optimistic runtime vs weight density).
+
+Paper series: UCNN G=1/2/4 normalized runtime across densities 0.1-1.0
+against the flat DCNN_sp line.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig11_runtime
+
+
+def test_fig11_runtime(benchmark, record_result):
+    result = run_once(benchmark, fig11_runtime.run)
+    record_result(
+        "fig11_runtime",
+        ("design", "density", "normalized runtime"),
+        result.format_rows(),
+        data=result,
+    )
+    # Paper shape: G=1 runtime ~ density; larger G erodes cycle savings
+    # (union of more filters' non-zero supports); DCNN_sp is flat.
+    g1 = {p.density: p.normalized_runtime for p in result.series("UCNN G1")}
+    g2 = {p.density: p.normalized_runtime for p in result.series("UCNN G2")}
+    g4 = {p.density: p.normalized_runtime for p in result.series("UCNN G4")}
+    assert abs(g1[0.5] - 0.5) < 0.05
+    assert g1[0.5] < g2[0.5] < g4[0.5]
+    assert g1[0.1] < g1[0.5] < g1[0.9]
+    sp = result.series("DCNN_sp")
+    assert all(abs(p.normalized_runtime - 1.0) < 1e-12 for p in sp)

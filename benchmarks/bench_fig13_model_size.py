@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 13 (model size vs weight density).
+
+Paper series: bits/weight of UCNN G=1/2/4 (pointer tables), DCNN_sp's
+8-bit RLE format, and the TTQ (2 b) / INQ (5 b) codes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13_model_size
+
+
+def test_fig13_model_size(benchmark, record_result):
+    result = run_once(benchmark, fig13_model_size.run)
+    record_result(
+        "fig13_model_size",
+        ("scheme", "density", "bits/weight"),
+        result.format_rows(),
+        data=result,
+    )
+    # Paper claims: UCNN G>1 beats DCNN_sp at every density; ~3.3 b/w for
+    # G=4 at 50% density (TTQ pairing); 5-6 b/w for G=2 at 90% (INQ
+    # pairing); model size shrinks with G.
+    for density in (0.5, 0.9):
+        assert result.at("UCNN G2", density) < result.at("DCNN_sp 8b", density)
+        assert result.at("UCNN G4", density) < result.at("UCNN G2", density)
+    assert 2.5 <= result.at("UCNN G4", 0.5) <= 4.0
+    assert 4.5 <= result.at("UCNN G2", 0.9) <= 6.5

@@ -1,0 +1,41 @@
+"""Bench: regenerate Figure 14 (jump-encoded tables, size vs overhead).
+
+Paper series: for the INQ-structured ResNet at G in {1, 2}, the
+performance overhead of jump-encoded indirection tables as the jump
+width (and hence bits/weight) shrinks.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14_jump_tables
+
+
+def test_fig14_jump_tables(benchmark, record_result):
+    result = run_once(benchmark, fig14_jump_tables.run)
+    record_result(
+        "fig14_jump_tables",
+        ("G", "jump bits", "bits/weight", "perf overhead (x)"),
+        result.format_rows(),
+        data=result,
+    )
+    # Paper shape: a moderate jump width saves bits/weight at small
+    # (<~5%) overhead; narrow widths blow up.  Overhead grows
+    # monotonically as the width shrinks.
+    for g in (1, 2):
+        series = [p for p in result.series(g) if p.jump_bits is not None]
+        series.sort(key=lambda p: -p.jump_bits)
+        overheads = [p.perf_overhead for p in series]
+        assert all(b >= a - 1e-9 for a, b in zip(overheads, overheads[1:]))
+    # G=1 (paper: 11 -> 8 bits at ~2%): a comfy point saves >= 1 bit.
+    g1 = result.series(1)
+    pointer1 = next(p for p in g1 if p.jump_bits is None)
+    comfy1 = [p for p in g1 if p.jump_bits is not None and p.perf_overhead <= 1.05]
+    assert comfy1
+    assert min(p.bits_per_weight for p in comfy1) < pointer1.bits_per_weight - 1.0
+    # G=2 (paper: 6 -> 5 at negligible cost): anchors at sub-group starts
+    # limit the win; a comfy point must at least reach pointer parity.
+    g2 = result.series(2)
+    pointer2 = next(p for p in g2 if p.jump_bits is None)
+    comfy2 = [p for p in g2 if p.jump_bits is not None and p.perf_overhead <= 1.05]
+    assert comfy2
+    assert min(p.bits_per_weight for p in comfy2) < pointer2.bits_per_weight + 0.1

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the core primitives (genuine timing runs).
+
+These exercise the hot paths the experiments lean on — table
+construction, table execution, the analytic layer aggregate, and the
+dense reference — with real pytest-benchmark statistics (multiple
+rounds), complementing the run-once experiment benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ucnn_config
+from repro.core.factorized import FactorizedConv
+from repro.core.hierarchical import build_filter_group_tables
+from repro.core.indirection import factorize_filter
+from repro.nn.reference import conv2d_im2col
+from repro.nn.tensor import ConvShape
+from repro.quant.distributions import uniform_unique_weights
+from repro.sim.analytic import ucnn_layer_aggregate
+
+RNG = np.random.default_rng(2024)
+SHAPE = ConvShape(name="bench", w=16, h=16, c=64, k=32, r=3, s=3, padding=1)
+
+
+@pytest.fixture(scope="module")
+def layer_weights():
+    return uniform_unique_weights(SHAPE.weight_shape, 17, 0.9, RNG).values
+
+
+def test_bench_factorize_filter(benchmark, layer_weights):
+    flat = layer_weights[0].reshape(-1)
+    result = benchmark(factorize_filter, flat)
+    assert result.num_entries == np.count_nonzero(flat)
+
+
+def test_bench_build_group_tables(benchmark, layer_weights):
+    flat = layer_weights[:2].reshape(2, -1)
+    tables = benchmark(build_filter_group_tables, flat)
+    assert tables.num_filters == 2
+
+
+def test_bench_table_execute(benchmark, layer_weights):
+    flat = layer_weights[:2].reshape(2, -1)
+    tables = build_filter_group_tables(flat)
+    window = RNG.integers(-8, 9, size=flat.shape[1])
+    out = benchmark(tables.execute, window)
+    assert np.array_equal(out, flat @ window)
+
+
+def test_bench_analytic_aggregate(benchmark, layer_weights):
+    config = ucnn_config(17, 16)
+    agg = benchmark(ucnn_layer_aggregate, layer_weights, SHAPE, config)
+    assert agg.entries > 0
+
+
+def test_bench_dense_reference(benchmark, layer_weights):
+    inputs = RNG.integers(-8, 9, size=SHAPE.input_shape.as_tuple())
+    out = benchmark(conv2d_im2col, inputs, layer_weights, 1, 1)
+    assert out.shape == SHAPE.output_shape.as_tuple()
+
+
+def test_bench_factorized_conv_forward(benchmark, layer_weights):
+    small = layer_weights[:8, :16]
+    conv = FactorizedConv(small, group_size=2, padding=1)
+    inputs = RNG.integers(-8, 9, size=(16, 10, 10))
+    out = benchmark(conv.forward_fast, inputs)
+    assert out.shape[0] == 8

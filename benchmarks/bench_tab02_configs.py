@@ -1,0 +1,35 @@
+"""Bench: regenerate Table II (hardware configurations).
+
+Paper rows: the design points (P, VK, VW, G, L1 sizes) plus the derived
+channel tile Ct — verifying each row performs 8 dense MACs/PE/cycle.
+"""
+
+from conftest import run_once
+
+from repro.experiments import tab02_configs
+
+#: Table II's published (VW, G, L1 input B, L1 weight B) per design row.
+PAPER_ROWS = {
+    "DCNN": (1, 1, 144, 1152),
+    "DCNN_sp": (1, 1, 144, 1152),
+    "UCNN U3": (2, 4, 768, 129),
+    "UCNN U17": (4, 2, 1152, 232),
+    "UCNN U64": (8, 1, 1920, 652),
+    "UCNN U256": (8, 1, 1920, 652),
+}
+
+
+def test_tab02_configs(benchmark, record_result):
+    result = run_once(benchmark, tab02_configs.run)
+    record_result(
+        "tab02_configs",
+        ("design", "P", "VK", "VW", "G", "L1 input B", "L1 weight B", "dense MACs/cyc", "Ct(3x3,C=256)"),
+        result.format_rows(),
+        data=result,
+    )
+    for row in result.rows:
+        vw, g, l1_in, l1_wt = PAPER_ROWS[row.name]
+        assert row.num_pes == 32
+        assert (row.vw, row.group_size) == (vw, g)
+        assert (row.l1_input_bytes, row.l1_weight_bytes) == (l1_in, l1_wt)
+        assert row.dense_macs_per_cycle == 8

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure of the paper: it runs the
+experiment once under pytest-benchmark timing, prints the rows (visible
+with ``-s``), and persists them under ``benchmarks/results/`` so the
+artifacts survive output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import dump_json, format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist a bench's table text + raw data under results/."""
+
+    def _record(name: str, headers, rows, data=None) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = format_table(headers, rows)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            dump_json(data, RESULTS_DIR / f"{name}.json")
+        print(f"\n=== {name} ===")
+        print(text)
+        return text
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

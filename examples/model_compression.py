@@ -1,0 +1,40 @@
+"""Scenario: how small does UCNN make your model in DRAM?
+
+Quantizes synthetic networks at several densities and compares the DRAM
+footprint of UCNN's indirection-table format (pointer and jump modes,
+several G) against DCNN_sp's run-length encoding and the raw TTQ / INQ
+codes — the Figure 13 / 14 story as a user-facing tool.
+
+Run:  python examples/model_compression.py [lenet|alexnet|resnet50]
+"""
+
+import sys
+
+from repro.experiments import fig13_model_size
+from repro.experiments.common import format_table, network_shapes
+
+
+def main(network: str = "lenet") -> None:
+    shapes = network_shapes(network)
+    dense_weights = sum(s.num_weights for s in shapes)
+    print(f"{network}: {dense_weights / 1e6:.2f}M conv weights\n")
+
+    result = fig13_model_size.run(network=network, densities=(0.3, 0.5, 0.7, 0.9))
+    schemes = ("UCNN G1", "UCNN G2", "UCNN G4", "DCNN_sp 8b", "TTQ", "INQ")
+    rows = []
+    for density in (0.3, 0.5, 0.7, 0.9):
+        row = [f"{density:.0%}"]
+        for scheme in schemes:
+            bits = result.at(scheme, density)
+            megabytes = bits * dense_weights / 8 / 1e6
+            row.append(f"{bits:.1f}b ({megabytes:.1f}MB)")
+        rows.append(tuple(row))
+    print(format_table(("density",) + schemes, rows))
+
+    print("\nNotes: UCNN G=4 pairs with TTQ-style U=3 weights, G<=2 with")
+    print("INQ-style U=17; model size counts iiT+wiT tables, skip entries")
+    print("and the unique-weight list, normalized per dense weight.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "lenet")

@@ -1,0 +1,63 @@
+"""Scenario: energy analysis of a full network across design points.
+
+Reproduces the Figure 9 methodology on one network of your choice:
+simulates every design (DCNN, DCNN_sp, UCNN U3/U17/U64/U256) on identical
+synthetic weights and prints the DRAM / L2 / PE energy breakdown,
+normalized to DCNN — the same bar groups the paper plots.
+
+Run:  python examples/network_energy.py [lenet|alexnet|resnet50] [density]
+"""
+
+import sys
+
+from repro.arch.config import paper_configs
+from repro.experiments.common import (
+    INPUT_DENSITY,
+    format_table,
+    network_shapes,
+    uniform_weight_provider,
+)
+from repro.sim.runner import simulate_network
+
+
+def main(network: str = "lenet", density: float = 0.5, bits: int = 16) -> None:
+    shapes = network_shapes(network)
+    print(f"{network}: {len(shapes)} conv layers, "
+          f"{sum(s.num_weights for s in shapes) / 1e6:.1f}M weights, "
+          f"{density:.0%} weight density, {bits}-bit, "
+          f"{INPUT_DENSITY:.0%} input density\n")
+
+    results = []
+    for config in paper_configs(bits):
+        u = config.num_unique if config.is_ucnn else 256
+        provider = uniform_weight_provider(u, density)
+        result = simulate_network(
+            shapes, config, weight_provider=provider,
+            weight_density=density, input_density=INPUT_DENSITY)
+        results.append((config, result))
+
+    base = next(r for c, r in results if c.name == "DCNN").energy.total_pj
+    rows = []
+    for config, result in results:
+        e = result.energy
+        rows.append((
+            config.name,
+            e.dram_pj / base, e.l2_pj / base, e.pe_pj / base, e.total_pj / base,
+            f"{result.cycles:,}",
+            f"{result.model_size.bits_per_weight:.1f}",
+        ))
+    print(format_table(
+        ("design", "DRAM", "L2/NoC", "PE", "total (vs DCNN)", "cycles", "bits/weight"),
+        rows,
+    ))
+    sp = next(r for c, r in results if c.name == "DCNN_sp").energy.total_pj
+    best = min(results, key=lambda cr: cr[1].energy.total_pj)
+    print(f"\nbest design: {best[0].name} — "
+          f"{sp / best[1].energy.total_pj:.2f}x less energy than DCNN_sp "
+          f"(paper band for this sweep: 1.2x - 4x)")
+
+
+if __name__ == "__main__":
+    network = sys.argv[1] if len(sys.argv) > 1 else "lenet"
+    density = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    main(network, density)

@@ -1,0 +1,12 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for PEP
+517 editable installs; this shim enables the legacy path
+(``pip install -e . --no-use-pep517 --no-build-isolation`` or
+``python setup.py develop``) on offline machines.  Configuration lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""Weight-repetition analysis (Figure 3 and Section II-B)."""
+
+from repro.analysis.repetition import (
+    LayerRepetition,
+    layer_repetition,
+    network_repetition,
+)
+
+__all__ = ["LayerRepetition", "layer_repetition", "network_repetition"]

@@ -1,0 +1,80 @@
+"""Network-on-chip geometry for the energy model.
+
+The paper extrapolates NoC energy from the number and estimated length of
+wires (PE-array + L2 floorplan) and assumes low-swing differential wires
+that burn energy every cycle whether or not data moves (Section VI-A).
+
+We model two multicast buses (weights, inputs) plus an output bus, each
+spanning the PE array.  Bus length is estimated from the floorplan
+(square chip over the summed PE and L2 areas); energy has
+
+* a *transfer* component per bit-mm moved, and
+* a *static* component per wire-mm-cycle (differential signaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+
+#: Low-swing wire transfer energy (pJ per bit per mm).
+LOW_SWING_PJ_PER_BIT_MM = 0.02
+
+#: Static differential-signaling energy (pJ per wire per mm per cycle).
+LOW_SWING_STATIC_PJ_PER_WIRE_MM_CYCLE = 0.0002
+
+
+@dataclass(frozen=True)
+class NocGeometry:
+    """Estimated floorplan and bus widths for one design point.
+
+    Attributes:
+        bus_length_mm: estimated span of each multicast bus.
+        weight_bus_bits: weight-bus width (one weight word per lane).
+        input_bus_bits: input-bus width.
+        output_bus_bits: output write-back width.
+    """
+
+    bus_length_mm: float
+    weight_bus_bits: int
+    input_bus_bits: int
+    output_bus_bits: int
+
+    @property
+    def total_wires(self) -> int:
+        """All bus wires (for the static-energy term)."""
+        return self.weight_bus_bits + self.input_bus_bits + self.output_bus_bits
+
+
+def estimate_geometry(config: HardwareConfig, pe_area_mm2: float, l2_area_mm2: float) -> NocGeometry:
+    """Estimate bus geometry from the floorplan.
+
+    A square die over ``P * pe_area + l2_area``; each bus spans one die
+    side per PE row/column it serves.
+    """
+    chip_area = config.num_pes * pe_area_mm2 + l2_area_mm2
+    side_mm = max(0.1, chip_area**0.5)
+    lanes = config.dense_macs_per_cycle
+    return NocGeometry(
+        bus_length_mm=side_mm,
+        weight_bus_bits=config.weight_bits * lanes,
+        input_bus_bits=config.act_bits * lanes,
+        output_bus_bits=config.act_bits * lanes,
+    )
+
+
+def noc_transfer_energy_pj(bits_moved: int, geometry: NocGeometry) -> float:
+    """Dynamic energy for moving ``bits_moved`` over the buses."""
+    return bits_moved * geometry.bus_length_mm * LOW_SWING_PJ_PER_BIT_MM
+
+
+def noc_static_energy_pj(cycles: int, geometry: NocGeometry, num_pes: int) -> float:
+    """Per-cycle differential-signaling energy over a layer's runtime.
+
+    Every bus wire burns the static cost each cycle regardless of
+    transfers — the paper's stated low-swing trade-off — scaled by the
+    bus fan-out across the PE array.
+    """
+    wire_mm = geometry.total_wires * geometry.bus_length_mm * max(1.0, num_pes**0.5)
+    return cycles * wire_mm * LOW_SWING_STATIC_PJ_PER_WIRE_MM_CYCLE

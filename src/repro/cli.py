@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``networks`` — list the zoo networks with layer/parameter summaries;
+* ``simulate`` — run one network under one design point and print the
+  energy/cycle/model-size summary (Figure 9 methodology);
+* ``experiment`` — run a named experiment (fig03..fig14, tab02, tab03,
+  ablations) and print its rows;
+* ``factorize`` — factorize a random quantized layer and report table
+  statistics (a quick feel for the mechanism).
+
+Examples::
+
+    python -m repro.cli networks
+    python -m repro.cli simulate --network lenet --design ucnn-u17 --density 0.5
+    python -m repro.cli experiment fig13 --network lenet
+    python -m repro.cli factorize --u 17 --density 0.9 --c 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.arch.config import HardwareConfig, dcnn_config, dcnn_sp_config, ucnn_config
+from repro.experiments.common import (
+    INPUT_DENSITY,
+    format_table,
+    network_shapes,
+    uniform_weight_provider,
+)
+from repro.nn.zoo import get_network
+
+#: CLI design-name -> config factory.
+DESIGNS = {
+    "dcnn": lambda bits: dcnn_config(bits),
+    "dcnn-sp": lambda bits: dcnn_sp_config(bits),
+    "ucnn-u3": lambda bits: ucnn_config(3, bits),
+    "ucnn-u17": lambda bits: ucnn_config(17, bits),
+    "ucnn-u64": lambda bits: ucnn_config(64, bits),
+    "ucnn-u256": lambda bits: ucnn_config(256, bits),
+}
+
+EXPERIMENTS = (
+    "fig03", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "tab02", "tab03", "abl-l2", "abl-chunk", "abl-pp",
+)
+
+
+def cmd_networks(_args: argparse.Namespace) -> int:
+    """List the zoo networks."""
+    rows = []
+    for name in ("lenet", "alexnet", "resnet50"):
+        net = get_network(name)
+        convs = net.conv_shapes()
+        rows.append((
+            name,
+            len(convs),
+            f"{net.num_parameters() / 1e6:.1f}M",
+            f"{net.total_macs() / 1e9:.2f}G",
+            f"{net.input_shape.as_tuple()}",
+        ))
+    print(format_table(("network", "conv layers", "params", "MACs", "input"), rows))
+    return 0
+
+
+def _resolve_design(name: str, bits: int) -> HardwareConfig:
+    if name not in DESIGNS:
+        raise SystemExit(f"unknown design {name!r}; choose from {sorted(DESIGNS)}")
+    return DESIGNS[name](bits)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Simulate one network under one design point."""
+    from repro.sim.runner import simulate_network
+
+    config = _resolve_design(args.design, args.bits)
+    shapes = network_shapes(args.network)
+    u = config.num_unique if config.is_ucnn else 256
+    provider = uniform_weight_provider(u, args.density)
+    result = simulate_network(
+        shapes, config, weight_provider=provider,
+        weight_density=args.density, input_density=INPUT_DENSITY)
+    energy = result.energy
+    print(f"{args.network} on {config.name} ({args.bits}-bit, "
+          f"{args.density:.0%} weight density):")
+    rows = [
+        ("cycles", f"{result.cycles:,}"),
+        ("DRAM energy", f"{energy.dram_pj / 1e6:.2f} uJ"),
+        ("L2/NoC energy", f"{energy.l2_pj / 1e6:.2f} uJ"),
+        ("PE energy", f"{energy.pe_pj / 1e6:.2f} uJ"),
+        ("total energy", f"{energy.total_pj / 1e6:.2f} uJ"),
+        ("model size", f"{result.model_size.bits_per_weight:.2f} bits/weight"),
+    ]
+    print(format_table(("metric", "value"), rows))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run a named experiment and print its rows."""
+    name = args.name
+    kwargs = {}
+    if args.network is not None and name in ("fig03", "fig12", "fig13", "fig14", "abl-l2", "abl-chunk", "abl-pp"):
+        kwargs = {"networks": (args.network,)} if name in ("fig03", "fig12") else {"network": args.network}
+    if name == "fig03":
+        from repro.experiments import fig03_repetition as module
+        headers = ("network", "layer", "filter size", "nz mean", "nz std", "zero mean", "zero std")
+    elif name == "fig09":
+        from repro.experiments import fig09_energy as module
+        headers = ("network", "bits", "density", "design", "dram", "l2", "pe", "total")
+        if args.network is not None:
+            kwargs = {"networks": (args.network,)}
+    elif name == "fig10":
+        from repro.experiments import fig10_layer_energy as module
+        headers = ("layer", "design", "dram", "l2", "pe", "total")
+    elif name == "fig11":
+        from repro.experiments import fig11_runtime as module
+        headers = ("design", "density", "normalized runtime")
+    elif name == "fig12":
+        from repro.experiments import fig12_inq_perf as module
+        headers = ("network", "design", "cycles", "speedup")
+    elif name == "fig13":
+        from repro.experiments import fig13_model_size as module
+        headers = ("scheme", "density", "bits/weight")
+    elif name == "fig14":
+        from repro.experiments import fig14_jump_tables as module
+        headers = ("G", "jump bits", "bits/weight", "overhead")
+    elif name == "tab02":
+        from repro.experiments import tab02_configs as module
+        headers = ("design", "P", "VK", "VW", "G", "L1 in", "L1 wt", "work", "Ct")
+        kwargs = {}
+    elif name == "tab03":
+        from repro.experiments import tab03_area as module
+        headers = ("component", "DCNN model", "DCNN paper", "UCNN model", "UCNN paper")
+        kwargs = {}
+    elif name == "abl-l2":
+        from repro.experiments import abl_l2_capacity as module
+        headers = ("L2 K-entries", "UCNN uJ", "DCNN_sp uJ", "improvement")
+    elif name == "abl-chunk":
+        from repro.experiments import abl_chunking as module
+        headers = ("cap", "multiplies", "extra bits", "vs 16")
+    elif name == "abl-pp":
+        from repro.experiments import abl_partial_product as module
+        headers = ("layer", "factorization x", "memoization x")
+    else:
+        raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+    result = module.run(**kwargs)
+    print(format_table(headers, result.format_rows()))
+    return 0
+
+
+def cmd_factorize(args: argparse.Namespace) -> int:
+    """Factorize a random layer and report its table statistics."""
+    import numpy as np
+
+    from repro.core.factorized import FactorizedConv
+    from repro.quant.distributions import uniform_unique_weights
+
+    rng = np.random.default_rng(args.seed)
+    weights = uniform_unique_weights((args.k, args.c, args.r, args.r), args.u, args.density, rng)
+    conv = FactorizedConv(weights.values, group_size=args.g)
+    rows = []
+    for i, tables in enumerate(conv.groups[:4]):
+        st = tables.stats()
+        rows.append((f"group {i}", st.num_entries, st.multiplies,
+                     st.skip_bubbles, st.mult_stalls, st.cycles))
+    print(f"layer ({args.k}x{args.c}x{args.r}x{args.r}), U={weights.num_unique}, "
+          f"density={weights.density:.0%}, G={args.g}")
+    print(format_table(
+        ("table", "entries", "multiplies", "skip bubbles", "stalls", "cycles/walk"), rows))
+    counts = conv.op_counts(out_positions=1)
+    print(f"\nmultiply savings vs dense: {counts.multiply_savings:.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("networks", help="list zoo networks").set_defaults(func=cmd_networks)
+
+    sim = sub.add_parser("simulate", help="simulate a network on a design point")
+    sim.add_argument("--network", default="lenet", choices=("lenet", "alexnet", "resnet50"))
+    sim.add_argument("--design", default="ucnn-u17", choices=sorted(DESIGNS))
+    sim.add_argument("--density", type=float, default=0.5)
+    sim.add_argument("--bits", type=int, default=16, choices=(8, 16))
+    sim.set_defaults(func=cmd_simulate)
+
+    exp = sub.add_parser("experiment", help="run a paper experiment")
+    exp.add_argument("name", choices=EXPERIMENTS)
+    exp.add_argument("--network", default=None)
+    exp.set_defaults(func=cmd_experiment)
+
+    fac = sub.add_parser("factorize", help="factorize a random layer")
+    fac.add_argument("--k", type=int, default=8)
+    fac.add_argument("--c", type=int, default=32)
+    fac.add_argument("--r", type=int, default=3)
+    fac.add_argument("--u", type=int, default=17)
+    fac.add_argument("--g", type=int, default=2)
+    fac.add_argument("--density", type=float, default=0.9)
+    fac.add_argument("--seed", type=int, default=0)
+    fac.set_defaults(func=cmd_factorize)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's primary contribution: weight-repetition machinery.
+
+* :mod:`repro.core.activation_groups` — activation groups (Section III-A):
+  the sets of input positions that share one unique weight, plus the
+  canonical weight ordering used by all indirection tables;
+* :mod:`repro.core.indirection` — single-filter factorization tables
+  (iiT / wiT with group-transition bits, zero-last "filter done" encoding,
+  Section IV-B);
+* :mod:`repro.core.hierarchical` — activation-group reuse across ``G``
+  filters via hierarchically sorted shared tables, skip-entry accounting
+  and max-group-size chunking (Sections III-B, IV-C);
+* :mod:`repro.core.factorized` — functional execution: factorized dot
+  products and full convolutions that are bit-exact against the dense
+  reference while counting arithmetic/memory events;
+* :mod:`repro.core.jump_encoding` — jump (RLE-style) compression of the
+  input indirection table (Section IV-C "Additional table compression");
+* :mod:`repro.core.model_size` — model-size accounting for Figure 13/14;
+* :mod:`repro.core.partial_product` — partial product reuse
+  (Section III-C), implemented as an extension/ablation.
+"""
+
+from repro.core.activation_groups import (
+    ActivationGroup,
+    build_activation_groups,
+    canonical_weight_order,
+)
+from repro.core.factorized import FactorizedConv, FactorizedDotProduct
+from repro.core.hierarchical import FilterGroupTables, build_filter_group_tables
+from repro.core.indirection import FactorizedFilter, factorize_filter
+from repro.core.jump_encoding import JumpTable, encode_jumps, grouped_jump_stats
+from repro.core.model_size import bits_per_weight, model_size_bits
+from repro.core.serialization import pack_layer, pack_tables, unpack_tables
+
+__all__ = [
+    "ActivationGroup",
+    "FactorizedConv",
+    "FactorizedDotProduct",
+    "FactorizedFilter",
+    "FilterGroupTables",
+    "JumpTable",
+    "bits_per_weight",
+    "build_activation_groups",
+    "build_filter_group_tables",
+    "canonical_weight_order",
+    "encode_jumps",
+    "factorize_filter",
+    "grouped_jump_stats",
+    "model_size_bits",
+    "pack_layer",
+    "pack_tables",
+    "unpack_tables",
+]

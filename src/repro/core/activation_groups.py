@@ -1,0 +1,142 @@
+"""Activation groups and the canonical weight order (Section III-A).
+
+Given one filter (flattened over its ``R x S x C`` extent), the input
+activations that will be multiplied by the same unique weight form an
+*activation group*.  Factorized dot products sum each group first and
+multiply the sum by the shared weight once, so
+
+* the number of groups equals the number of unique weights in the filter;
+* the size of a group equals that weight's repetition count;
+* the multiply count per dot product drops from ``R*S*C`` to ``U``.
+
+Every indirection table in this package is keyed to a single *canonical
+order* of weight values: non-zero values sorted by descending magnitude
+(positive before negative on ties) with **zero always last**.  Zero-last
+is load-bearing: Section IV-B encodes "filter done" at the transition to
+the zero group, which is how UCNN skips zero weights entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def canonical_weight_order(values: np.ndarray) -> np.ndarray:
+    """Canonical ordering of unique weight values.
+
+    Non-zero values first, sorted by descending ``|v|`` (positive before
+    negative on equal magnitude); zero last if present.
+
+    Args:
+        values: any integer tensor (duplicates allowed).
+
+    Returns:
+        1-D int64 array of the distinct values in canonical order.
+    """
+    unique = np.unique(np.asarray(values, dtype=np.int64))
+    nonzero = unique[unique != 0]
+    # Sort by (-|v|, -v): magnitude descending, then positive before negative.
+    order = np.lexsort((-nonzero, -np.abs(nonzero)))
+    result = nonzero[order]
+    if unique.size != nonzero.size:  # zero present
+        result = np.concatenate([result, np.zeros(1, dtype=np.int64)])
+    return result
+
+
+def rank_by_canonical(values: np.ndarray, canonical: np.ndarray) -> np.ndarray:
+    """Map each value to its index ("rank") in a canonical order.
+
+    Args:
+        values: integer tensor of weights.
+        canonical: 1-D canonical order containing every distinct value.
+
+    Returns:
+        int64 tensor of ranks, same shape as ``values``.
+
+    Raises:
+        ValueError: if some value is missing from ``canonical``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    canonical = np.asarray(canonical, dtype=np.int64)
+    sorter = np.argsort(canonical, kind="stable")
+    sorted_canonical = canonical[sorter]
+    pos = np.searchsorted(sorted_canonical, values)
+    pos = np.clip(pos, 0, canonical.size - 1)
+    if not np.all(sorted_canonical[pos] == values):
+        raise ValueError("values contain entries not present in the canonical order")
+    return sorter[pos].reshape(values.shape)
+
+
+@dataclass(frozen=True)
+class ActivationGroup:
+    """One activation group: a unique weight and its input positions.
+
+    Attributes:
+        weight: the unique weight value shared by the group.
+        indices: positions (into the flattened ``R*S*C`` filter region)
+            whose activations are summed before the single multiply.
+    """
+
+    weight: int
+    indices: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Group size = repetition count of ``weight`` in the filter."""
+        return int(self.indices.size)
+
+    def gather_sum(self, window: np.ndarray) -> int:
+        """Sum the group's activations from a flattened input window."""
+        return int(np.sum(np.asarray(window, dtype=np.int64)[self.indices]))
+
+
+def build_activation_groups(filter_flat: np.ndarray, include_zero: bool = False) -> list[ActivationGroup]:
+    """Build the activation groups of a single flattened filter.
+
+    Groups are returned in canonical weight order.  The zero weight's
+    group is omitted by default, matching the factorized dataflow (the
+    zero group's sum and multiply are skipped; Section III-A).
+
+    Args:
+        filter_flat: 1-D integer filter (length ``R*S*C``).
+        include_zero: include the zero-weight group (last) if present.
+
+    Returns:
+        list of :class:`ActivationGroup`, one per unique (non-zero) weight.
+    """
+    filter_flat = np.asarray(filter_flat, dtype=np.int64).reshape(-1)
+    order = canonical_weight_order(filter_flat)
+    groups = []
+    for value in order:
+        if value == 0 and not include_zero:
+            continue
+        indices = np.flatnonzero(filter_flat == value)
+        groups.append(ActivationGroup(weight=int(value), indices=indices))
+    return groups
+
+
+def group_sizes(filter_flat: np.ndarray) -> np.ndarray:
+    """Sizes of the non-zero activation groups, canonical order.
+
+    This is the paper's ``gsz(k, i)`` for filter ``k`` (Equation 2).
+    """
+    return np.array([g.size for g in build_activation_groups(filter_flat)], dtype=np.int64)
+
+
+def factored_dot_product_reference(filter_flat: np.ndarray, window: np.ndarray) -> int:
+    """Evaluate Equation 2 directly from activation groups (reference).
+
+    Semantically identical to the dense dot product; used in tests as an
+    intermediate ground truth between the dense reference and the
+    table-driven execution paths.
+    """
+    window = np.asarray(window, dtype=np.int64).reshape(-1)
+    filter_flat = np.asarray(filter_flat, dtype=np.int64).reshape(-1)
+    if window.size != filter_flat.size:
+        raise ValueError("window and filter must have equal flattened length")
+    total = 0
+    for group in build_activation_groups(filter_flat):
+        total += group.weight * group.gather_sum(window)
+    return total

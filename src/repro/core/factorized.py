@@ -1,0 +1,217 @@
+"""Functional factorized execution: dot products and full convolutions.
+
+:class:`FactorizedDotProduct` wraps a group of filters' shared tables and
+evaluates them against input windows.  :class:`FactorizedConv` runs an
+entire convolutional layer through the factorized path — grouping the K
+filters into ``ceil(K/G)`` table groups, im2col-ing the input, and walking
+the tables per output position — producing outputs that are bit-exact
+against :func:`repro.nn.reference.conv2d_im2col` while reporting the
+arithmetic savings UCNN realizes.
+
+This is the *algorithmic* layer of the reproduction: no hardware timing,
+just the math and the operation counts.  Cycle/energy accounting lives in
+:mod:`repro.sim` and :mod:`repro.energy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.activation_groups import canonical_weight_order
+from repro.core.hierarchical import FilterGroupTables, TableStats, build_filter_group_tables
+from repro.core.indirection import DEFAULT_MAX_GROUP_SIZE
+from repro.nn.reference import im2col
+from repro.nn.tensor import conv_output_hw
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation totals for a factorized execution.
+
+    Attributes:
+        multiplies: scalar multiplies performed.
+        adds: scalar accumulator/psum adds performed.
+        input_reads: input-buffer reads.
+        weight_reads: weight-buffer reads.
+        dense_multiplies: multiplies the dense path would perform.
+        dense_adds: adds the dense path would perform.
+    """
+
+    multiplies: int
+    adds: int
+    input_reads: int
+    weight_reads: int
+    dense_multiplies: int
+    dense_adds: int
+
+    @property
+    def multiply_savings(self) -> float:
+        """Dense-to-factorized multiply ratio (Figure 3's bar heights)."""
+        if self.multiplies == 0:
+            return float("inf") if self.dense_multiplies else 1.0
+        return self.dense_multiplies / self.multiplies
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            multiplies=self.multiplies + other.multiplies,
+            adds=self.adds + other.adds,
+            input_reads=self.input_reads + other.input_reads,
+            weight_reads=self.weight_reads + other.weight_reads,
+            dense_multiplies=self.dense_multiplies + other.dense_multiplies,
+            dense_adds=self.dense_adds + other.dense_adds,
+        )
+
+
+class FactorizedDotProduct:
+    """Factorized evaluation of one group of G filters.
+
+    Args:
+        filters: ``(G, N)`` flattened integer filters.
+        canonical: optional canonical weight order (defaults to the
+            filters' own canonical order).
+        max_group_size: innermost chunk limit.
+    """
+
+    def __init__(
+        self,
+        filters: np.ndarray,
+        canonical: np.ndarray | None = None,
+        max_group_size: int = DEFAULT_MAX_GROUP_SIZE,
+    ):
+        self.tables: FilterGroupTables = build_filter_group_tables(
+            filters, canonical=canonical, max_group_size=max_group_size
+        )
+
+    @property
+    def num_filters(self) -> int:
+        """G — filters evaluated per traversal."""
+        return self.tables.num_filters
+
+    def compute(self, window: np.ndarray) -> np.ndarray:
+        """Per-entry table walk for one window; returns ``(G,)`` outputs."""
+        return self.tables.execute(window)
+
+    def compute_many(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation; returns ``(G, n)`` outputs."""
+        return self.tables.execute_vectorized(windows)
+
+    def stats(self) -> TableStats:
+        """Event counts for one traversal."""
+        return self.tables.stats()
+
+
+class FactorizedConv:
+    """A convolutional layer executed through UCNN factorization.
+
+    The layer's ``K`` filters are split into ``ceil(K/G)`` groups that
+    each share one hierarchically sorted table (built offline, reused for
+    every filter slide — the reuse that makes spatial vectorization pay).
+
+    Args:
+        weights: ``(K, C, R, S)`` integer weight tensor.
+        group_size: G, filters per shared table (Table I).
+        stride: convolution stride.
+        padding: symmetric zero padding.
+        max_group_size: innermost chunk limit (Section IV-B).
+        layer_canonical: if True (default), key every group's tables to
+            the layer-wide canonical weight order (shared streamed weight
+            buffer); if False, each group uses its own values only.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        group_size: int = 1,
+        stride: int = 1,
+        padding: int = 0,
+        max_group_size: int = DEFAULT_MAX_GROUP_SIZE,
+        layer_canonical: bool = True,
+    ):
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 4:
+            raise ValueError("weights must be (K, C, R, S)")
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self.weights = weights
+        self.group_size = group_size
+        self.stride = stride
+        self.padding = padding
+        k = weights.shape[0]
+        flat = weights.reshape(k, -1)
+        canonical = canonical_weight_order(flat) if layer_canonical else None
+        self.canonical = canonical
+        self.groups: list[FilterGroupTables] = []
+        for start in range(0, k, group_size):
+            chunk = flat[start : start + group_size]
+            self.groups.append(
+                build_filter_group_tables(chunk, canonical=canonical, max_group_size=max_group_size)
+            )
+
+    @property
+    def num_filters(self) -> int:
+        """K — output channels."""
+        return int(self.weights.shape[0])
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the convolution through the factorized per-entry path.
+
+        Bit-exact against the dense im2col reference on integer inputs.
+
+        Args:
+            inputs: ``(C, H, W)`` integer activation tensor.
+
+        Returns:
+            ``(K, out_h, out_w)`` int64 outputs.
+        """
+        inputs = np.asarray(inputs)
+        k, c, r, s = self.weights.shape
+        if inputs.shape[0] != c:
+            raise ValueError(f"channel mismatch: input C={inputs.shape[0]}, weights C={c}")
+        out_h, out_w = conv_output_hw(inputs.shape[1], inputs.shape[2], r, s, self.stride, self.padding)
+        # im2col uses the same (c, r, s) flattening order as the tables.
+        cols = im2col(inputs.astype(np.int64), r, s, self.stride, self.padding)
+        num_windows = cols.shape[1]
+        out = np.empty((k, num_windows), dtype=np.int64)
+        for group_idx, tables in enumerate(self.groups):
+            start = group_idx * self.group_size
+            for w_idx in range(num_windows):
+                out[start : start + tables.num_filters, w_idx] = tables.execute(cols[:, w_idx])
+        return out.reshape(k, out_h, out_w)
+
+    def forward_fast(self, inputs: np.ndarray) -> np.ndarray:
+        """Vectorized forward (same math, grouped-gather implementation)."""
+        inputs = np.asarray(inputs)
+        k, c, r, s = self.weights.shape
+        out_h, out_w = conv_output_hw(inputs.shape[1], inputs.shape[2], r, s, self.stride, self.padding)
+        cols = im2col(inputs.astype(np.int64), r, s, self.stride, self.padding)
+        out = np.empty((k, cols.shape[1]), dtype=np.int64)
+        for group_idx, tables in enumerate(self.groups):
+            start = group_idx * self.group_size
+            out[start : start + tables.num_filters] = tables.execute_vectorized(cols.T)
+        return out.reshape(k, out_h, out_w)
+
+    def op_counts(self, out_positions: int) -> OpCounts:
+        """Operation totals for ``out_positions`` output positions.
+
+        Table stats are per walk; one walk serves all G filters of a
+        group at one position.
+        """
+        mult = adds = entries = weight_reads = 0
+        for tables in self.groups:
+            st = tables.stats()
+            mult += st.multiplies
+            adds += st.adds
+            entries += st.num_entries
+            weight_reads += st.weight_reads
+        k, c, r, s = self.weights.shape
+        dense_macs_per_pos = k * c * r * s
+        return OpCounts(
+            multiplies=mult * out_positions,
+            adds=adds * out_positions,
+            input_reads=entries * out_positions,
+            weight_reads=weight_reads * out_positions,
+            dense_multiplies=dense_macs_per_pos * out_positions,
+            dense_adds=dense_macs_per_pos * out_positions,
+        )

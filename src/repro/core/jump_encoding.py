@@ -1,0 +1,228 @@
+"""Jump-based compression of the input indirection table.
+
+Section IV-C ("Additional table compression"): instead of storing each
+iiT entry as an absolute ``ceil(log2(R*S*Ct))``-bit pointer, store it as a
+signed *jump* relative to the previous entry in traversal order — akin to
+the run-length encodings sparse accelerators use.  Within an activation
+group addresses ascend and are typically ``O(U)`` apart, so jumps need
+only ``O(log2 U)`` bits; group boundaries need larger (often negative)
+jumps back toward the start of the tile.
+
+If a required jump exceeds the provisioned width, *hop entries* are
+inserted that move the pointer part-way without delivering an activation
+— one pipeline bubble each, exactly like wiT skip entries.  Figure 14
+sweeps the jump width against the resulting performance overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JumpTable:
+    """A jump-encoded input indirection table.
+
+    Attributes:
+        jumps: signed jump per stored entry (including hop entries).
+        is_hop: parallel flags; True marks a hop entry (pipeline bubble,
+            delivers no activation).
+        width_bits: provisioned bits per jump entry (two's complement).
+        base: starting pointer value (jumps are relative; the first entry
+            jumps from ``base``).
+    """
+
+    jumps: np.ndarray
+    is_hop: np.ndarray
+    width_bits: int
+    base: int = -1
+
+    @property
+    def num_entries(self) -> int:
+        """Total stored entries, hops included."""
+        return int(self.jumps.size)
+
+    @property
+    def num_hops(self) -> int:
+        """Hop entries inserted (pipeline bubbles)."""
+        return int(np.count_nonzero(self.is_hop))
+
+    @property
+    def total_bits(self) -> int:
+        """Total iiT storage in bits."""
+        return self.num_entries * self.width_bits
+
+    def decode(self) -> np.ndarray:
+        """Recover the absolute addresses of the real (non-hop) entries."""
+        positions = self.base + np.cumsum(self.jumps.astype(np.int64))
+        return positions[~self.is_hop]
+
+    def overhead_factor(self) -> float:
+        """Entries walked per useful entry (>= 1.0); Figure 14's y-axis."""
+        useful = self.num_entries - self.num_hops
+        if useful == 0:
+            return 1.0
+        return self.num_entries / useful
+
+
+def jump_limits(width_bits: int) -> tuple[int, int]:
+    """(min, max) representable two's-complement jump for a width."""
+    if width_bits < 2:
+        raise ValueError("jump width must be >= 2 bits (sign + magnitude)")
+    return -(1 << (width_bits - 1)), (1 << (width_bits - 1)) - 1
+
+
+def encode_jumps(addresses: np.ndarray, width_bits: int, base: int = -1) -> JumpTable:
+    """Jump-encode a sequence of iiT addresses.
+
+    Args:
+        addresses: absolute entry addresses in traversal order.
+        width_bits: provisioned two's-complement bits per entry.
+        base: pointer start value (default -1, so a first entry at
+            address 0 is a jump of +1).
+
+    Returns:
+        a :class:`JumpTable`; decoding it yields ``addresses`` exactly.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64).reshape(-1)
+    lo, hi = jump_limits(width_bits)
+    jumps: list[int] = []
+    hops: list[bool] = []
+    position = base
+    for addr in addresses:
+        delta = int(addr) - position
+        # Hop toward the target in max-size strides until within range.
+        while delta > hi:
+            jumps.append(hi)
+            hops.append(True)
+            position += hi
+            delta -= hi
+        while delta < lo:
+            jumps.append(lo)
+            hops.append(True)
+            position += lo
+            delta -= lo
+        jumps.append(delta)
+        hops.append(False)
+        position = int(addr)
+    return JumpTable(
+        jumps=np.asarray(jumps, dtype=np.int64),
+        is_hop=np.asarray(hops, dtype=bool),
+        width_bits=width_bits,
+        base=base,
+    )
+
+
+def min_pointer_bits(filter_size: int) -> int:
+    """Pointer width for absolute iiT entries (``ceil(log2 R*S*Ct)``)."""
+    if filter_size < 1:
+        raise ValueError("filter_size must be >= 1")
+    return max(1, int(np.ceil(np.log2(filter_size))))
+
+
+@dataclass(frozen=True)
+class GroupedJumpStats:
+    """Within-group jump encoding of an iiT (the paper's scheme).
+
+    Section IV-C describes each entry as a jump "relative to the last
+    activation sharing the same weight": inside an activation group the
+    addresses ascend, so entries are small *unsigned* forward jumps; the
+    first entry of each group re-anchors with an absolute pointer.  Gaps
+    wider than the provisioned jump insert hop entries (one bubble each).
+
+    Attributes:
+        anchor_entries: first-of-group entries (absolute pointers).
+        jump_entries: within-group jump entries (real activations).
+        hop_entries: inserted hops (pipeline bubbles).
+        width_bits: jump field width.
+        pointer_bits: anchor pointer width.
+    """
+
+    anchor_entries: int
+    jump_entries: int
+    hop_entries: int
+    width_bits: int
+    pointer_bits: int
+
+    @property
+    def total_entries(self) -> int:
+        """All stored entries including hops."""
+        return self.anchor_entries + self.jump_entries + self.hop_entries
+
+    @property
+    def iit_bits(self) -> int:
+        """iiT storage: anchors at pointer width, jumps/hops at jump width."""
+        return (
+            self.anchor_entries * self.pointer_bits
+            + (self.jump_entries + self.hop_entries) * self.width_bits
+        )
+
+
+def grouped_jump_stats(
+    addresses: np.ndarray,
+    group_ends: np.ndarray,
+    width_bits: int,
+    pointer_bits: int,
+) -> GroupedJumpStats:
+    """Encode an iiT with within-group jumps (Section IV-C semantics).
+
+    Args:
+        addresses: iiT addresses in traversal order (ascending within
+            each innermost group).
+        group_ends: boolean per entry, True on the last entry of each
+            innermost group (the level-G transition bits).
+        width_bits: provisioned unsigned jump width (capacity 2^w - 1).
+        pointer_bits: absolute pointer width used by group anchors.
+
+    Returns:
+        a :class:`GroupedJumpStats`.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64).reshape(-1)
+    group_ends = np.asarray(group_ends, dtype=bool).reshape(-1)
+    if addresses.shape != group_ends.shape:
+        raise ValueError("addresses and group_ends must align")
+    if width_bits < 1:
+        raise ValueError("width_bits must be >= 1")
+    n = addresses.size
+    if n == 0:
+        return GroupedJumpStats(0, 0, 0, width_bits, pointer_bits)
+    firsts = np.empty(n, dtype=bool)
+    firsts[0] = True
+    firsts[1:] = group_ends[:-1]
+    gaps = addresses[1:] - addresses[:-1]
+    within = ~firsts[1:]
+    if np.any(gaps[within] <= 0):
+        raise ValueError("within-group addresses must strictly ascend")
+    capacity = (1 << width_bits) - 1
+    over = np.maximum(0, gaps[within] - capacity)
+    hops = int(np.sum(-(-over // capacity)))
+    anchors = int(np.count_nonzero(firsts))
+    return GroupedJumpStats(
+        anchor_entries=anchors,
+        jump_entries=n - anchors,
+        hop_entries=hops,
+        width_bits=width_bits,
+        pointer_bits=pointer_bits,
+    )
+
+
+def jump_hop_count(addresses: np.ndarray, width_bits: int, base: int = -1) -> int:
+    """Hop entries required to encode ``addresses`` at a given width.
+
+    Vectorized fast path of :func:`encode_jumps` for the analytic model:
+    only the hop count is computed, not the table itself.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64).reshape(-1)
+    if addresses.size == 0:
+        return 0
+    lo, hi = jump_limits(width_bits)
+    deltas = np.diff(np.concatenate([[base], addresses]))
+    positive_over = deltas > hi
+    negative_over = deltas < lo
+    hops = np.zeros(deltas.shape, dtype=np.int64)
+    # ceil((delta - hi) / hi) forward hops; ceil((lo - delta) / -lo) backward.
+    hops[positive_over] = -((-(deltas[positive_over] - hi)) // hi)
+    hops[negative_over] = -((-(lo - deltas[negative_over])) // (-lo))
+    return int(np.sum(hops))

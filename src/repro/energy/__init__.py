@@ -1,0 +1,28 @@
+"""Energy and area models (Section VI-A methodology).
+
+Every constant is pinned to a number the paper quotes or cites:
+
+* arithmetic energies at 32 nm from Horowitz's ISSCC'14 survey, matching
+  the paper's own figures (8-bit multiply 0.1 pJ, 16-bit multiply 0.4 pJ);
+* SRAM energy per access from a CACTI-like analytic model calibrated on
+  the paper's two quoted lookups (512x8b -> 0.17 pJ, 32Kx16b -> 2.5 pJ);
+* DRAM at 20 pJ/bit;
+* low-swing NoC wires with a per-cycle static cost.
+
+The area model (:mod:`repro.energy.area`) substitutes for the paper's RTL
+synthesis: SRAM area is calibrated on Table III's DCNN column and the
+UCNN column is *predicted* from component sizing.
+"""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.energy.ops import add_energy_pj, mult_energy_pj
+from repro.energy.sram import sram_access_energy_pj, sram_area_mm2
+
+__all__ = [
+    "EnergyBreakdown",
+    "EnergyModel",
+    "add_energy_pj",
+    "mult_energy_pj",
+    "sram_access_energy_pj",
+    "sram_area_mm2",
+]

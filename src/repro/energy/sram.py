@@ -1,0 +1,72 @@
+"""CACTI-like SRAM energy and area model.
+
+The paper obtains SRAM energies from CACTI with the ``itrs-lop`` device
+type at 32 nm.  We reproduce the *scaling shape* of such a model —
+per-bit access energy grows roughly with the square root of capacity
+(wordline/bitline lengths) above a fixed decode/sense floor — and
+calibrate it on the two SRAM access energies the paper quotes
+(Section VII):
+
+* a 512-entry x 8-bit SRAM lookup costs 0.17 pJ  (0.5 KB, 0.0415 pJ/bit... )
+* a 32K-entry x 16-bit SRAM lookup costs 2.5 pJ (64 KB)
+
+i.e. ``pJ/bit(KB) = A + B * sqrt(KB)`` fitted through
+(0.5 KB, 0.17/8 pJ/bit) and (64 KB, 2.5/16 pJ/bit).
+
+Area follows the same structure, calibrated on Table III's DCNN column
+(144 B input buffer -> 0.00135 mm²; 1152 B weight buffer -> 0.00384 mm²):
+a fixed periphery floor plus a per-byte slope.  Banked buffers pay a
+periphery overhead per bank, which reproduces the UCNN input-buffer area
+premium in Table III.
+"""
+
+from __future__ import annotations
+
+import math
+
+# -- energy calibration (paper's two quoted lookups) -----------------------
+
+_POINT_SMALL = (0.5, 0.17 / 8)  # (capacity KB, pJ per bit)
+_POINT_LARGE = (64.0, 2.5 / 16)
+
+_B_ENERGY = (_POINT_LARGE[1] - _POINT_SMALL[1]) / (math.sqrt(_POINT_LARGE[0]) - math.sqrt(_POINT_SMALL[0]))
+_A_ENERGY = _POINT_SMALL[1] - _B_ENERGY * math.sqrt(_POINT_SMALL[0])
+
+
+def sram_pj_per_bit(capacity_bytes: int) -> float:
+    """Per-bit access energy of an SRAM of the given capacity."""
+    if capacity_bytes < 1:
+        raise ValueError("capacity must be positive")
+    kb = capacity_bytes / 1024.0
+    return max(0.001, _A_ENERGY + _B_ENERGY * math.sqrt(kb))
+
+
+def sram_access_energy_pj(capacity_bytes: int, access_bits: int) -> float:
+    """Energy of one read/write of ``access_bits`` from an SRAM."""
+    if access_bits < 1:
+        raise ValueError("access width must be positive")
+    return sram_pj_per_bit(capacity_bytes) * access_bits
+
+
+# -- area calibration (Table III, DCNN column) ------------------------------
+
+# 144 B -> 0.00135 mm^2 and 1152 B -> 0.00384 mm^2 give the linear fit:
+_AREA_SLOPE_MM2_PER_BYTE = (0.00384 - 0.00135) / (1152 - 144)
+_AREA_FLOOR_MM2 = 0.00135 - 144 * _AREA_SLOPE_MM2_PER_BYTE
+
+#: Periphery overhead per bank beyond the first (sense amps / decoders).
+BANK_OVERHEAD_FRACTION = 0.05
+
+
+def sram_area_mm2(capacity_bytes: int, banks: int = 1) -> float:
+    """Area of an SRAM macro, optionally split into banks.
+
+    Banking replicates periphery: the area grows by
+    :data:`BANK_OVERHEAD_FRACTION` per bank beyond the first.
+    """
+    if capacity_bytes < 0:
+        raise ValueError("capacity must be non-negative")
+    if banks < 1:
+        raise ValueError("banks must be >= 1")
+    base = _AREA_FLOOR_MM2 + capacity_bytes * _AREA_SLOPE_MM2_PER_BYTE
+    return base * (1.0 + BANK_OVERHEAD_FRACTION * (banks - 1))

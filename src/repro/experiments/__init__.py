@@ -1,0 +1,26 @@
+"""Experiment runners — one module per table/figure of Section VI.
+
+==========  ===========================================================
+module      reproduces
+==========  ===========================================================
+fig03       Figure 3 — per-filter weight repetition (INQ networks)
+fig09       Figure 9 — normalized energy across networks/precisions/
+            densities for all six design points
+fig10       Figure 10 — per-layer ResNet energy breakdown
+fig11       Figure 11 — optimistic runtime vs weight density
+fig12       Figure 12 — performance on (synthetic) INQ data with all
+            implementation overheads
+fig13       Figure 13 — model size vs density
+fig14       Figure 14 — jump-encoded tables: size vs perf overhead
+tab02       Table II  — hardware configurations (derived parameters)
+tab03       Table III — PE area breakdown
+==========  ===========================================================
+
+Every runner returns plain dataclass/dict results and offers
+``format_rows()`` so the benchmark harness can print the same rows the
+paper reports.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

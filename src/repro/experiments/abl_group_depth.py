@@ -1,0 +1,122 @@
+"""Ablation — how deep can activation group reuse go? (Section III-B).
+
+The paper: "overlaps are likely to occur when the filter size R*S*C is
+larger than U^G ... We experimentally found that networks retrained with
+INQ (U = 17) and TTQ (U = 3) can enable G > 1.  In particular, INQ
+satisfies between G = 2 to 3 and TTQ satisfies G = 6 to 7 for a majority
+of ResNet-50 layers."
+
+We measure it directly: for each ResNet conv layer and each G, build the
+shared tables and check whether the innermost (level-G) groups still
+hold more than one activation on average — the condition for compound
+sub-expressions to actually be *reused* rather than degenerate into
+singletons.  The reported ``max_useful_g`` per layer is the largest such
+G, alongside the paper's pigeonhole predictor ``R*S*C > U^G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.activation_groups import canonical_weight_order
+from repro.core.hierarchical import build_filter_group_tables
+from repro.experiments.common import network_shapes, stable_seed, uniform_weight_provider
+
+
+@dataclass(frozen=True)
+class GroupDepthPoint:
+    """Reuse depth of one layer under one quantization scheme.
+
+    Attributes:
+        layer: layer name.
+        filter_size: R*S*C.
+        max_useful_g: largest G with mean innermost group size > 1.
+        pigeonhole_g: largest G with ``R*S*C > U^G`` (the paper's rule).
+    """
+
+    layer: str
+    filter_size: int
+    max_useful_g: int
+    pigeonhole_g: int
+
+
+@dataclass(frozen=True)
+class GroupDepthResult:
+    """Per-layer reuse depths for one (network, U) pair."""
+
+    network: str
+    num_unique: int
+    points: tuple[GroupDepthPoint, ...]
+
+    def majority_depth(self) -> int:
+        """The depth satisfied by a majority of layers (paper's claim)."""
+        depths = sorted(p.max_useful_g for p in self.points)
+        return depths[len(depths) // 2]
+
+    def format_rows(self) -> list[tuple]:
+        """(layer, filter size, measured max G, pigeonhole G) rows."""
+        return [
+            (p.layer, p.filter_size, p.max_useful_g, p.pigeonhole_g)
+            for p in self.points
+        ]
+
+
+def _mean_innermost_size(weights: np.ndarray, g: int, rng: np.random.Generator) -> float:
+    """Mean innermost group size over sampled G-filter tables."""
+    k = weights.shape[0]
+    if k < g:
+        return 0.0
+    flat = weights.reshape(k, -1)
+    canonical = canonical_weight_order(weights)
+    starts = rng.choice(k - g + 1, size=min(4, k - g + 1), replace=False)
+    sizes = []
+    for start in starts:
+        tables = build_filter_group_tables(flat[start : start + g], canonical=canonical)
+        if tables.num_entries == 0:
+            continue
+        boundaries = int(tables.transitions[g - 1].sum())
+        sizes.append(tables.num_entries / max(1, boundaries))
+    return float(np.mean(sizes)) if sizes else 0.0
+
+
+def run(
+    network: str = "resnet50",
+    num_unique: int = 17,
+    density: float = 0.9,
+    max_g: int = 8,
+) -> GroupDepthResult:
+    """Measure the useful activation-group-reuse depth per layer.
+
+    Args:
+        network: zoo network (paper: ResNet-50).
+        num_unique: U of the synthetic weights (17 = INQ, 3 = TTQ).
+        density: weight density.
+        max_g: largest G probed.
+
+    Returns:
+        a :class:`GroupDepthResult`.
+    """
+    shapes = network_shapes(network)
+    provider = uniform_weight_provider(num_unique, density, tag="abl-depth")
+    points = []
+    for shape in shapes:
+        weights = provider(shape)
+        rng = np.random.default_rng(stable_seed("abl-depth", shape.name, num_unique))
+        useful = 1
+        for g in range(2, max_g + 1):
+            if _mean_innermost_size(weights, g, rng) > 1.0:
+                useful = g
+            else:
+                break
+        pigeonhole = 0
+        while shape.filter_size > num_unique ** (pigeonhole + 1) and pigeonhole < max_g:
+            pigeonhole += 1
+        points.append(GroupDepthPoint(
+            layer=shape.name,
+            filter_size=shape.filter_size,
+            max_useful_g=useful,
+            pigeonhole_g=max(1, pigeonhole),
+        ))
+    return GroupDepthResult(network=network, num_unique=num_unique, points=tuple(points))

@@ -1,0 +1,77 @@
+"""Ablation — sensitivity of the energy result to L2 activation capacity.
+
+DESIGN.md §6 documents our reading of the paper's L2 provisioning
+("several hundred KB", sized so the evaluated networks keep activations
+on chip).  This ablation sweeps the L2 activation partition and reports
+how UCNN's improvement over DCNN_sp degrades as layers start spilling
+activations to DRAM — the spilled activations ship uncompressed for
+UCNN but run-length-encoded for DCNN_sp, so a small L2 systematically
+favors the baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.arch.config import dcnn_sp_config, ucnn_config
+from repro.experiments.common import INPUT_DENSITY, network_shapes, uniform_weight_provider
+from repro.sim.runner import simulate_network
+
+#: Capacities swept, expressed in activation entries (bytes at 8-bit).
+PAPER_SWEEP_KB = (128, 256, 512, 896, 2048)
+
+
+@dataclass(frozen=True)
+class L2Point:
+    """Improvement of UCNN U17 over DCNN_sp at one L2 capacity."""
+
+    l2_kilo_entries: int
+    ucnn_total_pj: float
+    dcnn_sp_total_pj: float
+
+    @property
+    def improvement(self) -> float:
+        """Energy improvement factor (DCNN_sp / UCNN)."""
+        return self.dcnn_sp_total_pj / self.ucnn_total_pj
+
+
+@dataclass(frozen=True)
+class L2AblationResult:
+    """The capacity sweep."""
+
+    network: str
+    points: tuple[L2Point, ...]
+
+    def format_rows(self) -> list[tuple]:
+        """(L2 K-entries, UCNN uJ, DCNN_sp uJ, improvement) rows."""
+        return [
+            (p.l2_kilo_entries, p.ucnn_total_pj / 1e6, p.dcnn_sp_total_pj / 1e6, p.improvement)
+            for p in self.points
+        ]
+
+
+def run(
+    network: str = "resnet50",
+    capacities_kb: tuple[int, ...] = PAPER_SWEEP_KB,
+    density: float = 0.5,
+    bits: int = 16,
+) -> L2AblationResult:
+    """Sweep L2 activation capacity for UCNN U17 vs DCNN_sp."""
+    shapes = network_shapes(network)
+    points = []
+    for kb in capacities_kb:
+        l2_bytes = kb * 1024 * (bits // 8)
+        ucnn = dataclasses.replace(ucnn_config(17, bits), l2_input_bytes=l2_bytes)
+        sp = dataclasses.replace(dcnn_sp_config(bits), l2_input_bytes=l2_bytes)
+        provider = uniform_weight_provider(17, density, tag="abl-l2")
+        ucnn_res = simulate_network(shapes, ucnn, weight_provider=provider,
+                                    weight_density=density, input_density=INPUT_DENSITY)
+        sp_res = simulate_network(shapes, sp, weight_provider=provider,
+                                  weight_density=density, input_density=INPUT_DENSITY)
+        points.append(L2Point(
+            l2_kilo_entries=kb,
+            ucnn_total_pj=ucnn_res.energy.total_pj,
+            dcnn_sp_total_pj=sp_res.energy.total_pj,
+        ))
+    return L2AblationResult(network=network, points=tuple(points))

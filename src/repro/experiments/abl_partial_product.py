@@ -1,0 +1,86 @@
+"""Ablation — the three reuse forms, compared per layer.
+
+The paper builds UCNN on dot-product factorization (Section III-A/B),
+leaves partial-product memoization (Section III-C) unexploited, and
+contrasts with Winograd's slide-structured reuse in Section VII.  This
+ablation quantifies all three on the same synthetic weights:
+
+* **factorization** — UCNN's multiplies (incl. chunk early-MACs) vs dense;
+* **memoization** — perfect per-channel ``weight x activation`` memo
+  across the ``R x S x K`` extent (the Section III-C upper bound);
+* **Winograd** — F(2x2, 3x3)'s fixed 2.25x, for 3x3 unit-stride layers.
+
+Expected shape: memoization's savings grow with ``K``; Winograd's are
+flat and repetition-blind; factorization's scale with ``R*S*C / U`` —
+the contrasts the paper draws in Sections III-C and VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import ucnn_config
+from repro.core.partial_product import partial_product_savings
+from repro.experiments.common import network_shapes, uniform_weight_provider
+from repro.nn.winograd import winograd_multiply_counts
+from repro.sim.analytic import ucnn_layer_aggregate
+
+
+@dataclass(frozen=True)
+class ReusePoint:
+    """Multiply savings of the three reuse forms on one layer.
+
+    ``winograd_savings`` is None for layers F(2x2, 3x3) cannot run
+    (non-3x3 kernels, non-unit stride, odd output tiles).
+    """
+
+    layer: str
+    factorization_savings: float
+    memoization_savings: float
+    winograd_savings: float | None
+
+
+@dataclass(frozen=True)
+class PartialProductResult:
+    """Per-layer comparison for one network."""
+
+    network: str
+    points: tuple[ReusePoint, ...]
+
+    def format_rows(self) -> list[tuple]:
+        """(layer, factorization x, memoization x, winograd x) rows."""
+        return [
+            (p.layer, p.factorization_savings, p.memoization_savings,
+             p.winograd_savings if p.winograd_savings is not None else "n/a")
+            for p in self.points
+        ]
+
+
+def run(
+    network: str = "lenet",
+    num_unique: int = 17,
+    density: float = 0.9,
+) -> PartialProductResult:
+    """Compare factorization, memoization and Winograd savings per layer."""
+    shapes = network_shapes(network)
+    provider = uniform_weight_provider(num_unique, density, tag="abl-pp")
+    config = ucnn_config(num_unique, 16)
+    points = []
+    for shape in shapes:
+        weights = provider(shape)
+        positions = shape.out_h * shape.out_w
+        dense = shape.num_weights * positions
+        agg = ucnn_layer_aggregate(weights, shape, config)
+        walks = shape.out_h * (-(-shape.out_w // config.vw))
+        fact_mults = walks * config.vw * agg.multiplies
+        memo = partial_product_savings(weights, positions)
+        winograd = None
+        if (shape.r, shape.s, shape.stride) == (3, 3, 1) and shape.out_h % 2 == 0 and shape.out_w % 2 == 0:
+            winograd = winograd_multiply_counts(shape.k, shape.c, shape.out_h, shape.out_w).savings
+        points.append(ReusePoint(
+            layer=shape.name,
+            factorization_savings=dense / max(1, fact_mults),
+            memoization_savings=memo.multiply_savings,
+            winograd_savings=winograd,
+        ))
+    return PartialProductResult(network=network, points=tuple(points))

@@ -1,0 +1,146 @@
+"""Shared plumbing for the experiment runners.
+
+Deterministic weight generation: every (layer, scheme, density) tuple
+maps to a fixed RNG seed, so all design points within one comparison see
+*identical* weights, and re-runs reproduce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import asdict, dataclass, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.network import Network
+from repro.nn.tensor import ConvShape
+from repro.nn.zoo import get_network
+from repro.quant.distributions import inq_like_weights, uniform_unique_weights
+
+#: The three networks of Section VI-A, in the paper's order.
+PAPER_NETWORKS = ("lenet", "alexnet", "resnet50")
+
+#: Input activation density used throughout the evaluation.
+INPUT_DENSITY = 0.35
+
+
+def stable_seed(*parts: object) -> int:
+    """Deterministic 63-bit seed from arbitrary labelled parts."""
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+def network_shapes(name: str, include_fc: bool = False) -> list[ConvShape]:
+    """Conv-layer geometries of a zoo network."""
+    return get_network(name).conv_shapes(include_fc=include_fc)
+
+
+def load_network(name: str) -> Network:
+    """Zoo network by name (convenience re-export)."""
+    return get_network(name)
+
+
+def uniform_weight_provider(num_unique: int, density: float, tag: str = ""):
+    """Weight provider with the paper's synthetic construction.
+
+    Each layer's weights are seeded by (layer name, U, density, tag), so
+    every design point sees identical tensors.
+    """
+
+    def provider(shape: ConvShape) -> np.ndarray:
+        rng = np.random.default_rng(stable_seed("uniform", shape.name, num_unique, density, tag))
+        return uniform_unique_weights(shape.weight_shape, num_unique, density, rng).values
+
+    return provider
+
+
+def inq_weight_provider(density: float | None = 0.9, tag: str = ""):
+    """Weight provider producing INQ-structured weights (U = 17)."""
+
+    def provider(shape: ConvShape) -> np.ndarray:
+        rng = np.random.default_rng(stable_seed("inq", shape.name, density, tag))
+        return inq_like_weights(shape.weight_shape, density=density, rng=rng).values
+
+    return provider
+
+
+def ucnn_config_for_group(group_size: int, bits: int = 16):
+    """The Table II UCNN row whose G matches, with VW = 8 / G.
+
+    G = 1 is the U>17 row (1920 B input buffer), G = 2 the U = 17 row,
+    G = 4 the U = 3 row — the pairing Table II prescribes.  The returned
+    config keeps that row's L1 sizes regardless of the weights' actual U
+    (the weight-value alphabet is the experiment's choice).
+    """
+    import dataclasses
+
+    from repro.arch.config import ucnn_config
+
+    row_u = {1: 64, 2: 17, 4: 3}.get(group_size)
+    if row_u is None:
+        raise ValueError(f"no Table II row for G={group_size}")
+    base = ucnn_config(row_u, bits)
+    vw = max(1, 8 // group_size)
+    pe_cols = max(1, 8 // vw)
+    return dataclasses.replace(
+        base, name=f"UCNN G{group_size}", group_size=group_size, vw=vw,
+        pe_cols=pe_cols, pe_rows=base.num_pes // pe_cols,
+    )
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (Figure 12's summary statistic)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table (the bench harness prints these)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def dump_json(result: object, path: str | Path) -> None:
+    """Serialize an experiment result (dataclasses included) to JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_to_jsonable(result), indent=2, sort_keys=True))
+
+
+def _to_jsonable(obj: object):
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _to_jsonable(v) for k, v in asdict(obj).items()}
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    return obj

@@ -1,0 +1,145 @@
+"""Figure 9 — normalized energy across the full design sweep.
+
+For each network x precision {8, 16} x weight density {90, 65, 50}%,
+every design (DCNN, DCNN_sp, UCNN U3/U17/U64/U256) is simulated on
+identical synthetic weights (uniform non-zero values at the design's U,
+zeroed to the target density; input density 35%) and its DRAM / L2 / PE
+energy is reported normalized to DCNN of the same group — exactly the
+bar groups of Figure 9.
+
+Expected shape (paper): all UCNN variants beat DCNN_sp at 16-bit
+(up to 3.7x for U3 on ResNet at 50% density); at 8-bit the gap narrows
+and U >= 64 can lose to DCNN_sp at 90% density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.config import HardwareConfig, paper_configs
+from repro.experiments.common import (
+    INPUT_DENSITY,
+    PAPER_NETWORKS,
+    network_shapes,
+    uniform_weight_provider,
+)
+from repro.sim.runner import NetworkResult, simulate_network
+
+#: Figure 9's density sweep.
+PAPER_DENSITIES = (0.9, 0.65, 0.5)
+
+
+@dataclass(frozen=True)
+class EnergyEntry:
+    """One bar of Figure 9 (a design within one group).
+
+    Attributes:
+        design: design name.
+        dram / l2 / pe: component energies normalized to the group's DCNN.
+    """
+
+    design: str
+    dram: float
+    l2: float
+    pe: float
+
+    @property
+    def total(self) -> float:
+        """Normalized total energy."""
+        return self.dram + self.l2 + self.pe
+
+
+@dataclass(frozen=True)
+class EnergyGroup:
+    """One bar group: (network, precision, density)."""
+
+    network: str
+    precision: int
+    density: float
+    entries: tuple[EnergyEntry, ...]
+
+    def entry(self, design: str) -> EnergyEntry:
+        """Bar for one design."""
+        for e in self.entries:
+            if e.design == design:
+                return e
+        raise KeyError(design)
+
+    def improvement_vs(self, design: str, baseline: str = "DCNN_sp") -> float:
+        """Energy improvement factor of ``design`` over ``baseline``."""
+        return self.entry(baseline).total / self.entry(design).total
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """All bar groups of Figure 9."""
+
+    groups: tuple[EnergyGroup, ...] = field(default_factory=tuple)
+
+    def group(self, network: str, precision: int, density: float) -> EnergyGroup:
+        """Lookup one bar group."""
+        for g in self.groups:
+            if g.network == network and g.precision == precision and abs(g.density - density) < 1e-9:
+                return g
+        raise KeyError((network, precision, density))
+
+    def format_rows(self) -> list[tuple]:
+        """(network, bits, density, design, dram, l2, pe, total) rows."""
+        rows = []
+        for g in self.groups:
+            for e in g.entries:
+                rows.append((g.network, g.precision, g.density, e.design, e.dram, e.l2, e.pe, e.total))
+        return rows
+
+
+def _simulate_design(
+    shapes, config: HardwareConfig, density: float
+) -> NetworkResult:
+    u = config.num_unique if config.is_ucnn else 256
+    provider = uniform_weight_provider(u, density)
+    return simulate_network(
+        shapes, config,
+        weight_provider=provider,
+        weight_density=density,
+        input_density=INPUT_DENSITY,
+    )
+
+
+def run(
+    networks: tuple[str, ...] = PAPER_NETWORKS,
+    precisions: tuple[int, ...] = (8, 16),
+    densities: tuple[float, ...] = PAPER_DENSITIES,
+) -> Figure9Result:
+    """Run the Figure 9 sweep.
+
+    Returns:
+        a :class:`Figure9Result` with one group per
+        (network, precision, density) and one entry per design.
+    """
+    groups: list[EnergyGroup] = []
+    for network in networks:
+        shapes = network_shapes(network)
+        for precision in precisions:
+            configs = paper_configs(precision)
+            for density in densities:
+                results = [(c, _simulate_design(shapes, c, density)) for c in configs]
+                base_total = None
+                entries = []
+                for config, result in results:
+                    energy = result.energy
+                    if config.name == "DCNN":
+                        base_total = energy.total_pj
+                assert base_total is not None
+                for config, result in results:
+                    energy = result.energy
+                    entries.append(EnergyEntry(
+                        design=config.name,
+                        dram=energy.dram_pj / base_total,
+                        l2=energy.l2_pj / base_total,
+                        pe=energy.pe_pj / base_total,
+                    ))
+                groups.append(EnergyGroup(
+                    network=network, precision=precision, density=density,
+                    entries=tuple(entries),
+                ))
+    return Figure9Result(groups=tuple(groups))

@@ -1,0 +1,90 @@
+"""Figure 10 — per-layer energy breakdown for ResNet (50% / 16-bit).
+
+The paper plots four representative ResNet layer geometries, noted
+``C:K:R:S`` — 64:64:3:3, 128:128:3:3, 256:256:3:3, 512:512:3:3 — each
+normalized to DCNN for that layer.  Early (small C, K) layers are
+compute-bound, late layers DRAM-bound; UCNN wins the former through
+arithmetic savings and the latter through table compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import paper_configs
+from repro.experiments.common import INPUT_DENSITY, uniform_weight_provider
+from repro.nn.tensor import ConvShape
+from repro.nn.zoo import get_network
+from repro.sim.runner import run_layer
+
+#: The 3x3 bottleneck conv of each ResNet module (Figure 10's layers).
+PAPER_LAYER_NAMES = ("M1B2L2", "M2B2L2", "M3B2L2", "M4B2L2")
+
+
+@dataclass(frozen=True)
+class LayerEnergyEntry:
+    """One design's normalized energy on one layer."""
+
+    design: str
+    dram: float
+    l2: float
+    pe: float
+
+    @property
+    def total(self) -> float:
+        """Normalized total."""
+        return self.dram + self.l2 + self.pe
+
+
+@dataclass(frozen=True)
+class Figure10Result:
+    """Per-layer bar groups, keyed by the paper's ``C:K:R:S`` label."""
+
+    groups: dict[str, tuple[LayerEnergyEntry, ...]]
+
+    def format_rows(self) -> list[tuple]:
+        """(layer, design, dram, l2, pe, total) rows."""
+        rows = []
+        for label, entries in self.groups.items():
+            for e in entries:
+                rows.append((label, e.design, e.dram, e.l2, e.pe, e.total))
+        return rows
+
+
+def paper_layer_shapes() -> list[ConvShape]:
+    """The four ResNet layer geometries Figure 10 plots."""
+    network = get_network("resnet50")
+    by_name = {s.name: s for s in network.conv_shapes()}
+    return [by_name[name] for name in PAPER_LAYER_NAMES]
+
+
+def run(density: float = 0.5, precision: int = 16) -> Figure10Result:
+    """Run the Figure 10 per-layer breakdown."""
+    groups: dict[str, tuple[LayerEnergyEntry, ...]] = {}
+    for shape in paper_layer_shapes():
+        label = f"{shape.c}:{shape.k}:{shape.r}:{shape.s}"
+        base_total = None
+        entries = []
+        results = []
+        for config in paper_configs(precision):
+            u = config.num_unique if config.is_ucnn else 256
+            provider = uniform_weight_provider(u, density)
+            result = run_layer(
+                shape, config,
+                weights=provider(shape),
+                weight_density=density,
+                input_density=INPUT_DENSITY,
+            )
+            results.append((config, result))
+            if config.name == "DCNN":
+                base_total = result.energy.total_pj
+        assert base_total is not None
+        for config, result in results:
+            entries.append(LayerEnergyEntry(
+                design=config.name,
+                dram=result.energy.dram_pj / base_total,
+                l2=result.energy.l2_pj / base_total,
+                pe=result.energy.pe_pj / base_total,
+            ))
+        groups[label] = tuple(entries)
+    return Figure10Result(groups=groups)

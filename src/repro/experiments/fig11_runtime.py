@@ -1,0 +1,106 @@
+"""Figure 11 — optimistic normalized runtime vs weight density.
+
+The paper's "optimistic performance analysis": assuming no load-balance
+issues (no skip-entry bubbles, no multiplier stalls) and uniform weights,
+UCNN's cycles per table walk equal the stored entries — the union of the
+G filters' non-zero supports — so runtime tracks
+``1 - (1 - density)^G``.  DCNN_sp spends dense cycles regardless of
+density (it skips multiply *energy*, not cycles) and is the flat 1.0
+line.
+
+Expected shape (paper): G = 1 runtime is proportional to density; larger
+G saves energy but erodes the cycle savings (union of more filters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import ucnn_config_for_group, uniform_weight_provider
+from repro.nn.tensor import ConvShape
+from repro.nn.zoo import get_network
+from repro.sim.analytic import ucnn_layer_aggregate
+
+#: The representative layer used for the sweep (ResNet 64:64:3:3,
+#: Figure 10's first geometry).  Its 56-wide output divides evenly by
+#: every VW in the sweep, so vector-ragged-edge effects do not mask the
+#: union-density trend the paper isolates.
+PAPER_LAYER = "M1B2L2"
+
+PAPER_DENSITY_SWEEP = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+
+@dataclass(frozen=True)
+class RuntimePoint:
+    """Normalized runtime of one design at one density."""
+
+    design: str
+    group_size: int
+    density: float
+    normalized_runtime: float
+
+
+@dataclass(frozen=True)
+class Figure11Result:
+    """The full sweep: one point per (design, density)."""
+
+    points: tuple[RuntimePoint, ...]
+
+    def series(self, design: str) -> list[RuntimePoint]:
+        """All densities for one design, ascending."""
+        pts = [p for p in self.points if p.design == design]
+        return sorted(pts, key=lambda p: p.density)
+
+    def format_rows(self) -> list[tuple]:
+        """(design, density, normalized runtime) rows."""
+        return [(p.design, p.density, p.normalized_runtime) for p in self.points]
+
+
+def _layer_shape() -> ConvShape:
+    network = get_network("resnet50")
+    for shape in network.conv_shapes():
+        if shape.name == PAPER_LAYER:
+            return shape
+    raise KeyError(PAPER_LAYER)
+
+
+def run(
+    group_sizes: tuple[int, ...] = (1, 2, 4),
+    densities: tuple[float, ...] = PAPER_DENSITY_SWEEP,
+    num_unique: int = 17,
+    shape: ConvShape | None = None,
+) -> Figure11Result:
+    """Run the Figure 11 sweep.
+
+    Args:
+        group_sizes: UCNN G values to plot.
+        densities: weight-density sweep.
+        num_unique: U of the synthetic weights (17 = INQ-like).
+        shape: layer geometry (defaults to ResNet 256:256:3:3).
+
+    Returns:
+        a :class:`Figure11Result` including the flat DCNN_sp line.
+    """
+    shape = shape or _layer_shape()
+    points: list[RuntimePoint] = []
+    for density in densities:
+        points.append(RuntimePoint(
+            design="DCNN_sp", group_size=1, density=density, normalized_runtime=1.0,
+        ))
+        provider = uniform_weight_provider(num_unique, density, tag="fig11")
+        weights = provider(shape)
+        for g in group_sizes:
+            config = ucnn_config_for_group(g)
+            agg = ucnn_layer_aggregate(weights, shape, config)
+            # Optimistic: stored entries only (no bubbles, no stalls).
+            # agg.entries is already summed over all (K/G) filter groups
+            # and channel tiles; the throughput-normalized dense design
+            # spends K * R*S*C / 8 cycles per output position.
+            walks = shape.out_h * (-(-shape.out_w // config.vw))
+            ucnn_cycles = walks * agg.entries
+            dense_cycles = shape.out_h * shape.out_w * shape.k * shape.filter_size / 8
+            points.append(RuntimePoint(
+                design=f"UCNN G{g}", group_size=g, density=density,
+                normalized_runtime=ucnn_cycles / dense_cycles,
+            ))
+    return Figure11Result(points=tuple(points))

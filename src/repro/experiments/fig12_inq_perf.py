@@ -1,0 +1,109 @@
+"""Figure 12 — performance on (synthetic) INQ data, all overheads on.
+
+Unlike Figure 11's optimistic analysis, this study runs the full cycle
+model on INQ-structured weights (U = 17, ~90% dense): stored entries plus
+skip-entry bubbles plus single-multiplier dispatch stalls.  The paper
+compares throughput-normalized pairs per network and reports geometric
+means:
+
+* DCNN_sp VK=1  vs  UCNN G=1 (VW=1)
+* DCNN_sp VK=2  vs  UCNN G=2 (VW=1)
+
+Expected shape (paper): at 90% density the ideal G=1 gain is 10%, but
+implementation overheads eat most of it (the paper measures +0.7%);
+UCNN G=2 reaches ~1.80x against the VK=1 baseline versus the ideal 2x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.arch.config import dcnn_sp_config, ucnn_config
+from repro.experiments.common import PAPER_NETWORKS, geomean, inq_weight_provider, network_shapes
+from repro.sim.analytic import dense_layer_events, ucnn_layer_aggregate, ucnn_layer_events
+
+
+@dataclass(frozen=True)
+class PerfEntry:
+    """Speedup of one design over DCNN_sp VK=1 on one network."""
+
+    network: str
+    design: str
+    cycles: int
+    speedup: float
+
+
+@dataclass(frozen=True)
+class Figure12Result:
+    """Per-network speedups plus geometric means (the paper's panel d)."""
+
+    entries: tuple[PerfEntry, ...]
+    geomeans: dict[str, float]
+
+    def speedup(self, network: str, design: str) -> float:
+        """Speedup of a design on a network."""
+        for e in self.entries:
+            if e.network == network and e.design == design:
+                return e.speedup
+        raise KeyError((network, design))
+
+    def format_rows(self) -> list[tuple]:
+        """(network, design, cycles, speedup) rows."""
+        return [(e.network, e.design, e.cycles, e.speedup) for e in self.entries]
+
+
+def _variant_configs():
+    """The four throughput points of Figure 12."""
+    sp = dcnn_sp_config(16)
+    ucnn = ucnn_config(17, 16)
+    return [
+        ("DCNN_sp VK1", dataclasses.replace(sp, name="DCNN_sp VK1", vk=1)),
+        ("DCNN_sp VK2", dataclasses.replace(sp, name="DCNN_sp VK2", vk=2)),
+        ("UCNN G1", dataclasses.replace(
+            ucnn, name="UCNN G1", group_size=1, vw=1, pe_cols=8, pe_rows=4)),
+        ("UCNN G2", dataclasses.replace(
+            ucnn, name="UCNN G2", group_size=2, vw=1, pe_cols=8, pe_rows=4)),
+    ]
+
+
+def run(
+    networks: tuple[str, ...] = PAPER_NETWORKS,
+    density: float = 0.9,
+) -> Figure12Result:
+    """Run the Figure 12 study.
+
+    Args:
+        networks: zoo networks to evaluate.
+        density: INQ weight density (paper: 90%).
+
+    Returns:
+        a :class:`Figure12Result` with speedups vs DCNN_sp VK=1.
+    """
+    provider = inq_weight_provider(density=density, tag="fig12")
+    entries: list[PerfEntry] = []
+    per_design_speedups: dict[str, list[float]] = {}
+    for network in networks:
+        shapes = network_shapes(network)
+        weights_by_layer = {s.name: provider(s) for s in shapes}
+        cycles_by_design: dict[str, int] = {}
+        for name, config in _variant_configs():
+            total = 0
+            for shape in shapes:
+                weights = weights_by_layer[shape.name]
+                if config.is_ucnn:
+                    agg = ucnn_layer_aggregate(weights, shape, config)
+                    total += ucnn_layer_events(shape, config, agg).cycles
+                else:
+                    total += dense_layer_events(shape, config, density, 0.35).cycles
+            cycles_by_design[name] = total
+        base = cycles_by_design["DCNN_sp VK1"]
+        for name, __ in _variant_configs():
+            speedup = base / cycles_by_design[name]
+            entries.append(PerfEntry(
+                network=network, design=name,
+                cycles=cycles_by_design[name], speedup=speedup,
+            ))
+            per_design_speedups.setdefault(name, []).append(speedup)
+    geomeans = {name: geomean(vals) for name, vals in per_design_speedups.items()}
+    return Figure12Result(entries=tuple(entries), geomeans=geomeans)

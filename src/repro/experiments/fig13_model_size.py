@@ -1,0 +1,118 @@
+"""Figure 13 — model size (bits per weight) vs weight density.
+
+UCNN's DRAM representation is the indirection tables + skip entries +
+unique-weight list (pointer-mode iiT entries here; Figure 14 studies the
+jump encoding).  Compared against DCNN_sp's 8-bit + 5-bit-RLE format and
+the 2-bit TTQ / 5-bit INQ codes the papers report.
+
+Expected shape (paper): UCNN G>1 models beat DCNN_sp at every density;
+G=1 exceeds DCNN_sp at high density; at 50% density UCNN G=4 needs
+~3.3 bits/weight (competitive with TTQ) and at 90% density G=2 needs
+5-6 bits/weight (competitive with INQ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model_size import (
+    dcnn_sp_model_size,
+    inq_model_size,
+    ttq_model_size,
+    ucnn_model_size,
+)
+from repro.experiments.common import (
+    network_shapes,
+    ucnn_config_for_group,
+    uniform_weight_provider,
+)
+from repro.sim.analytic import ucnn_layer_aggregate
+
+PAPER_DENSITY_SWEEP = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+#: U used per G-series: G=4 pairs with TTQ-like U=3, G<=2 with INQ-like 17.
+SERIES_UNIQUE = {1: 17, 2: 17, 4: 3}
+
+
+@dataclass(frozen=True)
+class ModelSizePoint:
+    """Bits per weight of one scheme at one density."""
+
+    scheme: str
+    density: float
+    bits_per_weight: float
+
+
+@dataclass(frozen=True)
+class Figure13Result:
+    """All (scheme, density) points."""
+
+    points: tuple[ModelSizePoint, ...]
+
+    def series(self, scheme: str) -> list[ModelSizePoint]:
+        """Ascending-density series for one scheme."""
+        return sorted((p for p in self.points if p.scheme == scheme), key=lambda p: p.density)
+
+    def at(self, scheme: str, density: float) -> float:
+        """Bits/weight of a scheme at one density."""
+        for p in self.points:
+            if p.scheme == scheme and abs(p.density - density) < 1e-9:
+                return p.bits_per_weight
+        raise KeyError((scheme, density))
+
+    def format_rows(self) -> list[tuple]:
+        """(scheme, density, bits/weight) rows."""
+        return [(p.scheme, p.density, p.bits_per_weight) for p in self.points]
+
+
+def run(
+    network: str = "resnet50",
+    densities: tuple[float, ...] = PAPER_DENSITY_SWEEP,
+    group_sizes: tuple[int, ...] = (1, 2, 4),
+    weight_bits: int = 8,
+) -> Figure13Result:
+    """Run the Figure 13 sweep over one network's conv layers.
+
+    Args:
+        network: zoo network supplying the layer geometries.
+        densities: density sweep.
+        group_sizes: UCNN G series to plot.
+        weight_bits: precision of stored unique weights / DCNN_sp weights
+            (the paper plots the 8-bit DCNN_sp baseline; UCNN's table
+            size is precision-invariant).
+
+    Returns:
+        a :class:`Figure13Result`.
+    """
+    shapes = network_shapes(network)
+    points: list[ModelSizePoint] = []
+    for density in densities:
+        for g in group_sizes:
+            u = SERIES_UNIQUE.get(g, 17)
+            config = ucnn_config_for_group(g, 16)
+            provider = uniform_weight_provider(u, density, tag="fig13")
+            total = None
+            for shape in shapes:
+                agg = ucnn_layer_aggregate(provider(shape), shape, config)
+                model = ucnn_model_size(
+                    stored_entries=agg.entries,
+                    skip_entries=agg.skip_bubbles,
+                    dense_weights=shape.num_weights,
+                    group_size=g,
+                    filter_size=agg.tile_entries,
+                    num_unique=agg.num_unique,
+                    weight_bits=weight_bits,
+                )
+                total = model if total is None else total + model
+            assert total is not None
+            points.append(ModelSizePoint(
+                scheme=f"UCNN G{g}", density=density,
+                bits_per_weight=total.bits_per_weight,
+            ))
+        dense_weights = sum(s.num_weights for s in shapes)
+        nonzero = int(round(dense_weights * density))
+        sp = dcnn_sp_model_size(nonzero, dense_weights, weight_bits=weight_bits)
+        points.append(ModelSizePoint("DCNN_sp 8b", density, sp.bits_per_weight))
+        points.append(ModelSizePoint("TTQ", density, ttq_model_size(dense_weights).bits_per_weight))
+        points.append(ModelSizePoint("INQ", density, inq_model_size(dense_weights).bits_per_weight))
+    return Figure13Result(points=tuple(points))

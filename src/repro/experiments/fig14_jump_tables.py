@@ -1,0 +1,207 @@
+"""Figure 14 — jump-encoded indirection tables: size vs perf overhead.
+
+Section IV-C compresses the iiT by storing each entry "as a jump,
+relative to the last activation sharing the same weight": inside an
+activation group addresses ascend, so entries become small unsigned
+forward jumps of ``w`` bits; the first entry of each (innermost) group
+re-anchors with an absolute pointer.  Gaps wider than ``2^w - 1`` insert
+hop entries — one pipeline bubble each — so narrowing ``w`` trades model
+size against performance, the trade-off Figure 14 sweeps on the
+INQ-trained ResNet for G in {1, 2}.
+
+Anchor/hop statistics depend on the actual address sequences, so this
+experiment *builds* tables on a deterministic sample of (filter group,
+channel tile) tables per layer and scales the measured per-entry ratios
+(documented sampled estimator; exact when the sample covers all tables).
+
+Expected shape (paper): G=1 drops ~3 bits/weight (11 -> 8) for ~2%
+overhead; G=2 drops ~1 bit (6 -> 5) at negligible cost; narrower widths
+blow up quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.buffers import tile_plan
+from repro.core.activation_groups import canonical_weight_order
+from repro.core.hierarchical import build_filter_group_tables
+from repro.core.jump_encoding import grouped_jump_stats, min_pointer_bits
+from repro.core.model_size import ModelSizeBreakdown, ucnn_model_size, wit_bits_per_entry
+from repro.experiments.common import (
+    inq_weight_provider,
+    network_shapes,
+    stable_seed,
+    ucnn_config_for_group,
+)
+from repro.sim.analytic import ucnn_layer_aggregate
+
+PAPER_JUMP_WIDTHS = (2, 3, 4, 5, 6, 8)
+
+
+@dataclass(frozen=True)
+class JumpPoint:
+    """One (G, jump width) point of Figure 14.
+
+    Attributes:
+        group_size: G.
+        jump_bits: provisioned jump width (None = absolute pointers).
+        bits_per_weight: resulting model size.
+        perf_overhead: cycles relative to the pointer-mode baseline
+            (>= 1.0).
+    """
+
+    group_size: int
+    jump_bits: int | None
+    bits_per_weight: float
+    perf_overhead: float
+
+
+@dataclass(frozen=True)
+class Figure14Result:
+    """All sweep points."""
+
+    points: tuple[JumpPoint, ...]
+
+    def series(self, group_size: int) -> list[JumpPoint]:
+        """Points for one G, pointer mode first then widest jumps."""
+        pts = [p for p in self.points if p.group_size == group_size]
+        return sorted(pts, key=lambda p: (p.jump_bits is not None, -(p.jump_bits or 99)))
+
+    def format_rows(self) -> list[tuple]:
+        """(G, jump bits, bits/weight, perf overhead) rows."""
+        return [
+            (p.group_size, p.jump_bits if p.jump_bits is not None else "ptr",
+             p.bits_per_weight, p.perf_overhead)
+            for p in self.points
+        ]
+
+
+@dataclass(frozen=True)
+class _JumpProfile:
+    """Sampled per-entry ratios for one (layer, G, width)."""
+
+    anchors_per_entry: float
+    hops_per_entry: float
+
+
+def _sampled_jump_profile(
+    weights: np.ndarray,
+    shape,
+    config,
+    width_bits: int,
+    max_tables: int = 12,
+) -> _JumpProfile:
+    """Anchor and hop entries per real entry, measured on table samples."""
+    k, c, r, s = weights.shape
+    plan = tile_plan(shape, config)
+    ct, tiles = plan.channel_tile, plan.num_tiles
+    wpad = np.zeros((k, ct * tiles, r, s), dtype=np.int64)
+    wpad[:, :c] = weights
+    tiled = wpad.reshape(k, tiles, ct * r * s)
+    g = config.group_size
+    groups = max(1, k // g)
+    rng = np.random.default_rng(stable_seed("fig14-sample", shape.name, g))
+    pairs = [(gi, ti) for gi in range(groups) for ti in range(tiles)]
+    if len(pairs) > max_tables:
+        chosen = rng.choice(len(pairs), size=max_tables, replace=False)
+        pairs = [pairs[i] for i in chosen]
+    canonical = canonical_weight_order(weights)
+    pointer_bits = min_pointer_bits(plan.tile_entries)
+    anchors = hops = entries = 0
+    for gi, ti in pairs:
+        chunk = tiled[gi * g : (gi + 1) * g, ti, :]
+        tables = build_filter_group_tables(chunk, canonical=canonical)
+        if tables.num_entries == 0:
+            continue
+        ends = tables.transitions[tables.num_filters - 1]
+        stats = grouped_jump_stats(tables.iit, ends, width_bits, pointer_bits)
+        anchors += stats.anchor_entries
+        hops += stats.hop_entries
+        entries += stats.anchor_entries + stats.jump_entries
+    if entries == 0:
+        return _JumpProfile(0.0, 0.0)
+    return _JumpProfile(anchors_per_entry=anchors / entries, hops_per_entry=hops / entries)
+
+
+def run(
+    network: str = "resnet50",
+    group_sizes: tuple[int, ...] = (1, 2),
+    jump_widths: tuple[int, ...] = PAPER_JUMP_WIDTHS,
+    density: float = 0.9,
+    max_layers: int | None = None,
+) -> Figure14Result:
+    """Run the Figure 14 sweep on INQ-structured weights.
+
+    Args:
+        network: zoo network (paper: ResNet-50).
+        group_sizes: UCNN G values.
+        jump_widths: unsigned jump widths to sweep (pointer mode always
+            included as the baseline point).
+        density: INQ density (paper: ~90%).
+        max_layers: optionally restrict to the first N conv layers
+            (test-speed knob).
+
+    Returns:
+        a :class:`Figure14Result`.
+    """
+    shapes = network_shapes(network)
+    if max_layers is not None:
+        shapes = shapes[:max_layers]
+    provider = inq_weight_provider(density=density, tag="fig14")
+    points: list[JumpPoint] = []
+    for g in group_sizes:
+        config = ucnn_config_for_group(g, 16)
+        layer_data = []
+        for shape in shapes:
+            weights = provider(shape)
+            agg = ucnn_layer_aggregate(weights, shape, config)
+            layer_data.append((shape, weights, agg))
+        base_cycles = sum(
+            shape.out_h * (-(-shape.out_w // config.vw)) * agg.cycles_per_walk_total
+            for shape, __, agg in layer_data
+        )
+        pointer_model = None
+        for shape, __, agg in layer_data:
+            model = ucnn_model_size(
+                agg.entries, agg.skip_bubbles, shape.num_weights, g,
+                agg.tile_entries, agg.num_unique, weight_bits=8,
+            )
+            pointer_model = model if pointer_model is None else pointer_model + model
+        assert pointer_model is not None
+        points.append(JumpPoint(
+            group_size=g, jump_bits=None,
+            bits_per_weight=pointer_model.bits_per_weight, perf_overhead=1.0,
+        ))
+        for width in jump_widths:
+            cycles = 0
+            total = None
+            for shape, weights, agg in layer_data:
+                profile = _sampled_jump_profile(weights, shape, config, width)
+                anchor_entries = int(round(profile.anchors_per_entry * agg.entries))
+                hop_entries = int(round(profile.hops_per_entry * agg.entries))
+                jump_entries = agg.entries - anchor_entries
+                pointer_bits = min_pointer_bits(agg.tile_entries)
+                iit_bits = (
+                    anchor_entries * pointer_bits
+                    + (jump_entries + hop_entries) * width
+                )
+                stored = agg.entries + agg.skip_bubbles + hop_entries
+                model = ModelSizeBreakdown(
+                    iit_bits=iit_bits + agg.skip_bubbles * width,
+                    wit_bits=stored * wit_bits_per_entry(g),
+                    weight_bits=agg.num_unique * 8,
+                    dense_weights=shape.num_weights,
+                )
+                total = model if total is None else total + model
+                walks = shape.out_h * (-(-shape.out_w // config.vw))
+                cycles += walks * (agg.cycles_per_walk_total + hop_entries)
+            assert total is not None
+            points.append(JumpPoint(
+                group_size=g, jump_bits=width,
+                bits_per_weight=total.bits_per_weight,
+                perf_overhead=cycles / base_cycles,
+            ))
+    return Figure14Result(points=tuple(points))

@@ -1,0 +1,69 @@
+"""Table II — hardware configurations and their derived parameters.
+
+Prints the design points all other experiments use, plus the derived
+channel tiling Ct for a representative layer, verifying each row does the
+work of 8 dense MACs per PE per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.buffers import channel_tile
+from repro.arch.config import HardwareConfig, paper_configs
+from repro.nn.tensor import ConvShape
+
+#: Reference layer for the derived-Ct column (ResNet 3x3, C=256).
+REFERENCE_LAYER = ConvShape(name="ref", w=14, h=14, c=256, k=256, r=3, s=3, padding=1)
+
+
+@dataclass(frozen=True)
+class ConfigRow:
+    """One Table II row plus derived quantities."""
+
+    name: str
+    num_pes: int
+    vk: int
+    vw: int
+    group_size: int
+    l1_input_bytes: int
+    l1_weight_bytes: int
+    dense_macs_per_cycle: int
+    channel_tile: int
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All rows."""
+
+    rows: tuple[ConfigRow, ...]
+
+    def format_rows(self) -> list[tuple]:
+        """(design, P, VK, VW, G, L1 in, L1 wt, work/cycle, Ct) rows."""
+        return [
+            (r.name, r.num_pes, r.vk, r.vw, r.group_size,
+             r.l1_input_bytes, r.l1_weight_bytes, r.dense_macs_per_cycle, r.channel_tile)
+            for r in self.rows
+        ]
+
+
+def run(bits: int = 16, reference: ConvShape = REFERENCE_LAYER) -> Table2Result:
+    """Build the Table II rows for one precision."""
+    rows = []
+    for config in paper_configs(bits):
+        rows.append(_row(config, reference))
+    return Table2Result(rows=tuple(rows))
+
+
+def _row(config: HardwareConfig, reference: ConvShape) -> ConfigRow:
+    return ConfigRow(
+        name=config.name,
+        num_pes=config.num_pes,
+        vk=config.vk,
+        vw=config.vw,
+        group_size=config.group_size,
+        l1_input_bytes=config.l1_input_bytes,
+        l1_weight_bytes=config.l1_weight_bytes,
+        dense_macs_per_cycle=config.dense_macs_per_cycle,
+        channel_tile=channel_tile(reference, config),
+    )

@@ -1,0 +1,93 @@
+"""Table III — PE area breakdown (DCNN VK=2 vs UCNN G=2, U=17).
+
+The paper synthesizes both PEs in 32 nm RTL; our substitute is the
+analytic area model of :mod:`repro.energy.area`, whose SRAM curve is
+calibrated on the DCNN column and whose UCNN column is *predicted* from
+component sizing.  The headline claims tracked:
+
+* +17% UCNN PE area with a 17-entry weight buffer;
+* +24% when provisioned for 256 unique weights (Section IV-E flexibility).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.arch.config import dcnn_config, ucnn_config
+from repro.energy.area import PEAreaBreakdown, dcnn_pe_area, ucnn_pe_area
+
+#: The paper's Table III values in mm² (for side-by-side reporting).
+PAPER_DCNN = {
+    "input_buffer": 0.00135,
+    "indirection_table": 0.0,
+    "weight_buffer": 0.00384,
+    "psum_buffer": 0.00577,
+    "arithmetic": 0.00120,
+    "control": 0.00109,
+    "total": 0.01325,
+}
+PAPER_UCNN = {
+    "input_buffer": 0.00453,
+    "indirection_table": 0.00100,
+    "weight_buffer": 0.0,
+    "psum_buffer": 0.00577,
+    "arithmetic": 0.00244,
+    "control": 0.00171,
+    "total": 0.01545,
+}
+PAPER_OVERHEAD_U17 = 0.17
+PAPER_OVERHEAD_U256 = 0.24
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Modelled areas plus the paper's numbers.
+
+    Attributes:
+        dcnn: modelled DCNN (VK=2) PE breakdown.
+        ucnn_u17: modelled UCNN (G=2, U=17) PE breakdown.
+        ucnn_u256: the same PE provisioned for 256 unique weights.
+    """
+
+    dcnn: PEAreaBreakdown
+    ucnn_u17: PEAreaBreakdown
+    ucnn_u256: PEAreaBreakdown
+
+    @property
+    def overhead_u17(self) -> float:
+        """Modelled UCNN area overhead at U=17 (paper: 17%)."""
+        return self.ucnn_u17.overhead_vs(self.dcnn)
+
+    @property
+    def overhead_u256(self) -> float:
+        """Modelled UCNN area overhead at U=256 (paper: 24%)."""
+        return self.ucnn_u256.overhead_vs(self.dcnn)
+
+    def format_rows(self) -> list[tuple]:
+        """(component, DCNN model, DCNN paper, UCNN model, UCNN paper)."""
+        rows = []
+        for comp in ("input_buffer", "indirection_table", "weight_buffer",
+                     "psum_buffer", "arithmetic", "control"):
+            rows.append((
+                comp,
+                getattr(self.dcnn, comp), PAPER_DCNN[comp],
+                getattr(self.ucnn_u17, comp), PAPER_UCNN[comp],
+            ))
+        rows.append(("total", self.dcnn.total, PAPER_DCNN["total"],
+                     self.ucnn_u17.total, PAPER_UCNN["total"]))
+        return rows
+
+
+def run() -> Table3Result:
+    """Compute the Table III comparison."""
+    # The RTL study compares throughput-2 PEs: DCNN VK=2, UCNN G=2 (VW=1).
+    dcnn = dataclasses.replace(dcnn_config(16), vk=2)
+    ucnn17 = ucnn_config(17, 16)
+    ucnn256 = dataclasses.replace(
+        ucnn_config(17, 16), name="UCNN U256-prov", num_unique=256)
+    return Table3Result(
+        dcnn=dcnn_pe_area(dcnn),
+        ucnn_u17=ucnn_pe_area(ucnn17),
+        ucnn_u256=ucnn_pe_area(ucnn256),
+    )

@@ -1,0 +1,47 @@
+"""CNN inference substrate.
+
+This subpackage provides everything the UCNN reproduction needs from a
+neural-network framework, implemented from scratch on numpy:
+
+* :mod:`repro.nn.tensor` — layer shape records and shape arithmetic;
+* :mod:`repro.nn.fixed_point` — fixed-point quantization of activations;
+* :mod:`repro.nn.reference` — dense convolution/pooling/FC reference
+  implementations (both naive loop and im2col forms);
+* :mod:`repro.nn.layers` — layer objects with ``forward()``;
+* :mod:`repro.nn.network` — a sequential network container;
+* :mod:`repro.nn.zoo` — the three networks evaluated in the paper.
+
+Activations are laid out ``(C, H, W)`` and conv weights ``(K, C, R, S)``,
+matching the notation of the paper's Figure 2 (``C`` input channels, ``K``
+filters, ``R x S`` spatial kernel).
+"""
+
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    Layer,
+    MaxPoolLayer,
+    ReluLayer,
+)
+from repro.nn.network import Network
+from repro.nn.tensor import ConvShape, TensorShape, conv_output_hw
+from repro.nn.zoo import alexnet, lenet_cifar10, resnet50
+
+__all__ = [
+    "AvgPoolLayer",
+    "ConvLayer",
+    "ConvShape",
+    "FlattenLayer",
+    "FullyConnectedLayer",
+    "Layer",
+    "MaxPoolLayer",
+    "Network",
+    "ReluLayer",
+    "TensorShape",
+    "alexnet",
+    "conv_output_hw",
+    "lenet_cifar10",
+    "resnet50",
+]

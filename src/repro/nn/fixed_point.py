@@ -1,0 +1,92 @@
+"""Fixed-point helpers for activations and weights.
+
+The paper evaluates 8-bit and 16-bit fixed-point configurations
+(Section VI-A).  UCNN's mechanisms are agnostic to the numeric format —
+they depend only on *value equality* between weights — so this module
+provides just enough fixed-point machinery to (a) quantize real-valued
+tensors onto an integer grid and (b) reason about operand widths for the
+energy model.
+
+All integer tensors in this package use numpy ``int64`` storage so that
+accumulation is exact; the *logical* width (8/16 bits) is carried
+separately and used by :mod:`repro.energy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format.
+
+    Attributes:
+        total_bits: total width including sign (e.g. 8 or 16).
+        frac_bits: bits to the right of the binary point.
+    """
+
+    total_bits: int
+    frac_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ValueError("need at least 2 bits (sign + magnitude)")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError("frac_bits must be in [0, total_bits)")
+
+    @property
+    def min_int(self) -> int:
+        """Smallest representable raw integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def scale(self) -> float:
+        """Real value of one LSB."""
+        return 2.0 ** (-self.frac_bits)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize real values to raw integers (round-to-nearest, saturate)."""
+        raw = np.rint(np.asarray(values, dtype=np.float64) / self.scale)
+        return np.clip(raw, self.min_int, self.max_int).astype(np.int64)
+
+    def dequantize(self, raw: np.ndarray) -> np.ndarray:
+        """Convert raw integers back to real values."""
+        return np.asarray(raw, dtype=np.float64) * self.scale
+
+    def representable(self, raw: np.ndarray) -> bool:
+        """Whether every raw integer fits in this format."""
+        raw = np.asarray(raw)
+        return bool(np.all(raw >= self.min_int) and np.all(raw <= self.max_int))
+
+
+INT8 = FixedPointFormat(total_bits=8)
+INT16 = FixedPointFormat(total_bits=16)
+
+
+def quantize_activations(values: np.ndarray, fmt: FixedPointFormat = INT8) -> np.ndarray:
+    """Quantize an activation tensor to the given fixed-point format."""
+    return fmt.quantize(values)
+
+
+def num_unique(values: np.ndarray) -> int:
+    """Number of unique values in a tensor (``U`` in the paper)."""
+    return int(np.unique(np.asarray(values)).size)
+
+
+def accumulation_bits(operand_bits: int, num_terms: int) -> int:
+    """Width needed to accumulate ``num_terms`` products of two operands.
+
+    Used for psum-register and activation-group-accumulator sizing: a sum
+    of ``n`` ``b x b``-bit products needs ``2b + ceil(log2(n))`` bits.
+    """
+    if num_terms < 1:
+        raise ValueError("num_terms must be >= 1")
+    return 2 * operand_bits + max(0, int(np.ceil(np.log2(num_terms))))

@@ -1,0 +1,122 @@
+"""Winograd F(2x2, 3x3) convolution — the paper's related-work baseline.
+
+Section VII compares weight repetition against Winograd's minimal
+filtering: Winograd factors multiplies out of convolution by exploiting
+the *predictable filter slide* (4 outputs per 16 multiplies per channel
+for 3x3 kernels, a fixed 2.25x), but is "weight/input repetition
+un-aware", cannot exploit cross-filter repetition, loses effectiveness
+for non-unit strides, and only works for convolutions.  UCNN's savings
+instead scale with ``R*S*C / U`` and stack across filters.
+
+This module implements F(2x2, 3x3) faithfully (Lavin & Gray transforms)
+so the two approaches can be compared head-to-head on multiply counts —
+the ablation `bench_ablations` reports alongside factorization.
+
+The transforms contain halves, so Winograd computes in float and matches
+the integer reference numerically (exact up to float rounding), unlike
+the bit-exact UCNN path — itself an instructive contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.tensor import conv_output_hw
+
+# Lavin & Gray F(2x2, 3x3) transform matrices.
+_B_T = np.array([
+    [1, 0, -1, 0],
+    [0, 1, 1, 0],
+    [0, -1, 1, 0],
+    [0, 1, 0, -1],
+], dtype=np.float64)
+_G = np.array([
+    [1, 0, 0],
+    [0.5, 0.5, 0.5],
+    [0.5, -0.5, 0.5],
+    [0, 0, 1],
+], dtype=np.float64)
+_A_T = np.array([
+    [1, 1, 1, 0],
+    [0, 1, -1, -1],
+], dtype=np.float64)
+
+
+def winograd_transform_filter(filter_3x3: np.ndarray) -> np.ndarray:
+    """``G g G^T``: a 3x3 kernel's 4x4 Winograd-domain form."""
+    filter_3x3 = np.asarray(filter_3x3, dtype=np.float64)
+    if filter_3x3.shape != (3, 3):
+        raise ValueError("Winograd F(2x2,3x3) needs a 3x3 kernel")
+    return _G @ filter_3x3 @ _G.T
+
+
+def winograd_conv2d_3x3(inputs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """F(2x2, 3x3) convolution (valid padding, unit stride).
+
+    Args:
+        inputs: ``(C, H, W)`` tensor with even ``H-2`` and ``W-2``.
+        weights: ``(K, C, 3, 3)`` tensor.
+
+    Returns:
+        ``(K, H-2, W-2)`` float outputs (match the integer reference to
+        float rounding).
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    k, c, r, s = weights.shape
+    if (r, s) != (3, 3):
+        raise ValueError("F(2x2,3x3) requires 3x3 kernels")
+    if inputs.shape[0] != c:
+        raise ValueError("channel mismatch")
+    out_h, out_w = conv_output_hw(inputs.shape[1], inputs.shape[2], 3, 3)
+    if out_h % 2 or out_w % 2:
+        raise ValueError("output dims must be even for 2x2 tiling")
+    tiles_h, tiles_w = out_h // 2, out_w // 2
+
+    # Transform filters once: (K, C, 4, 4).  Weight axes are (r, s) =
+    # (width, height) per Equation 1's convention, while patches index
+    # (height, width) — hence the transposed contraction (lj not jl).
+    u = np.einsum("ij,kclj,ml->kcim", _G, weights, _G)
+    out = np.zeros((k, out_h, out_w), dtype=np.float64)
+    for ty in range(tiles_h):
+        for tx in range(tiles_w):
+            patch = inputs[:, 2 * ty : 2 * ty + 4, 2 * tx : 2 * tx + 4]
+            v = np.einsum("ij,cjl,ml->cim", _B_T, patch, _B_T)  # (C,4,4)
+            m = (u * v[None]).sum(axis=1)  # (K,4,4): the multiplies
+            y = np.einsum("ij,kjl,ml->kim", _A_T, m, _A_T)  # (K,2,2)
+            out[:, 2 * ty : 2 * ty + 2, 2 * tx : 2 * tx + 2] = y
+    return out
+
+
+@dataclass(frozen=True)
+class WinogradCounts:
+    """Multiply accounting for F(2x2, 3x3) vs dense and UCNN.
+
+    Attributes:
+        dense_multiplies: direct-convolution multiplies.
+        winograd_multiplies: Winograd-domain multiplies (16 per 2x2
+            output tile per channel per filter).
+    """
+
+    dense_multiplies: int
+    winograd_multiplies: int
+
+    @property
+    def savings(self) -> float:
+        """Dense over Winograd multiplies (2.25x for full tiles)."""
+        return self.dense_multiplies / self.winograd_multiplies
+
+
+def winograd_multiply_counts(k: int, c: int, out_h: int, out_w: int) -> WinogradCounts:
+    """Multiply counts for a 3x3 layer under F(2x2, 3x3).
+
+    Winograd's savings are *fixed* at (2*2*9)/(4*4) = 2.25x for unit
+    stride regardless of U or sparsity — the contrast with UCNN's
+    repetition-scaling savings that Section VII draws.
+    """
+    tiles = -(-out_h // 2) * (-(-out_w // 2))
+    dense = k * c * 9 * out_h * out_w
+    winograd = k * c * 16 * tiles
+    return WinogradCounts(dense_multiplies=dense, winograd_multiplies=winograd)

@@ -1,0 +1,190 @@
+"""The three networks evaluated in the paper (Section VI-A).
+
+* :func:`lenet_cifar10` — the "LeNet-like" Caffe ``cifar10_quick`` CNN
+  (3 conv + 2 FC layers, CIFAR-10 input);
+* :func:`alexnet` — Caffe BVLC AlexNet (5 conv + 3 FC, 227x227 input,
+  grouped conv2/4/5);
+* :func:`resnet50` — ResNet-50 (conv1 + 16 bottleneck blocks + FC,
+  224x224 input).
+
+Networks are built *without* weights; experiments attach synthetic
+quantized weights via :mod:`repro.quant.distributions`.  ResNet layers are
+named ``M{m}B{b}L{l}`` to match the paper's "module x, layer y" labels in
+Figure 3 (module 1 = conv2_x ... module 4 = conv5_x).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import reference
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    Layer,
+    MaxPoolLayer,
+    ReluLayer,
+)
+from repro.nn.network import Network
+from repro.nn.tensor import ConvShape, TensorShape
+
+
+class BottleneckBlock(Layer):
+    """A ResNet bottleneck residual block (1x1 -> 3x3 -> 1x1 + shortcut).
+
+    The stride (when downsampling) is applied at the first 1x1 conv,
+    following the original He et al. / Caffe arrangement.  The projection
+    shortcut (1x1 conv) is present whenever the input/output channel
+    counts differ or the block strides.
+    """
+
+    def __init__(self, name: str, in_channels: int, width: int, h: int, w: int, stride: int = 1):
+        self.name = name
+        out_channels = 4 * width
+        # Spatial size after the (possibly strided) 1x1 conv.
+        mid_h = (h - 1) // stride + 1
+        mid_w = (w - 1) // stride + 1
+        self.conv1 = ConvLayer(ConvShape(
+            name=f"{name}L1", w=w, h=h, c=in_channels, k=width, r=1, s=1, stride=stride))
+        self.conv2 = ConvLayer(ConvShape(
+            name=f"{name}L2", w=mid_w, h=mid_h, c=width, k=width, r=3, s=3, padding=1))
+        self.conv3 = ConvLayer(ConvShape(
+            name=f"{name}L3", w=mid_w, h=mid_h, c=width, k=out_channels, r=1, s=1))
+        self.projection: ConvLayer | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.projection = ConvLayer(ConvShape(
+                name=f"{name}proj", w=w, h=h, c=in_channels, k=out_channels, r=1, s=1, stride=stride))
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def conv_sublayers(self) -> list[ConvLayer]:
+        convs = [self.conv1, self.conv2, self.conv3]
+        if self.projection is not None:
+            convs.append(self.projection)
+        return convs
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = reference.relu(self.conv1.forward(inputs))
+        out = reference.relu(self.conv2.forward(out))
+        out = self.conv3.forward(out)
+        shortcut = inputs if self.projection is None else self.projection.forward(inputs)
+        return reference.relu(out + shortcut)
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        expected = self.conv1.shape.input_shape
+        if input_shape.as_tuple() != expected.as_tuple():
+            raise ValueError(f"block {self.name!r}: shape mismatch {input_shape} vs {expected}")
+        return self.conv3.shape.output_shape
+
+
+def lenet_cifar10() -> Network:
+    """The Caffe ``cifar10_quick`` LeNet-like CNN used in the paper.
+
+    conv1/conv2/conv3 are 5x5 with padding 2; pooling alternates max and
+    average, all 3x3 stride 2 (ceil mode).  Input is 3x32x32.
+    """
+    layers: list[Layer] = [
+        ConvLayer(ConvShape(name="conv1", w=32, h=32, c=3, k=32, r=5, s=5, padding=2)),
+        MaxPoolLayer(3, 2, name="pool1"),
+        ReluLayer("relu1"),
+        ConvLayer(ConvShape(name="conv2", w=16, h=16, c=32, k=32, r=5, s=5, padding=2)),
+        ReluLayer("relu2"),
+        AvgPoolLayer(3, 2, name="pool2"),
+        ConvLayer(ConvShape(name="conv3", w=8, h=8, c=32, k=64, r=5, s=5, padding=2)),
+        ReluLayer("relu3"),
+        AvgPoolLayer(3, 2, name="pool3"),
+        FlattenLayer("flatten"),
+        FullyConnectedLayer(64, 64 * 4 * 4, name="ip1"),
+        FullyConnectedLayer(10, 64, name="ip2"),
+    ]
+    return Network("lenet", TensorShape(3, 32, 32), layers)
+
+
+def alexnet() -> Network:
+    """Caffe BVLC AlexNet (227x227 input, grouped conv2/4/5)."""
+    layers: list[Layer] = [
+        ConvLayer(ConvShape(name="conv1", w=227, h=227, c=3, k=96, r=11, s=11, stride=4)),
+        ReluLayer("relu1"),
+        MaxPoolLayer(3, 2, name="pool1"),
+        ConvLayer(ConvShape(name="conv2", w=27, h=27, c=48, k=256, r=5, s=5, padding=2, groups=2)),
+        ReluLayer("relu2"),
+        MaxPoolLayer(3, 2, name="pool2"),
+        ConvLayer(ConvShape(name="conv3", w=13, h=13, c=256, k=384, r=3, s=3, padding=1)),
+        ReluLayer("relu3"),
+        ConvLayer(ConvShape(name="conv4", w=13, h=13, c=192, k=384, r=3, s=3, padding=1, groups=2)),
+        ReluLayer("relu4"),
+        ConvLayer(ConvShape(name="conv5", w=13, h=13, c=192, k=256, r=3, s=3, padding=1, groups=2)),
+        ReluLayer("relu5"),
+        MaxPoolLayer(3, 2, name="pool5"),
+        FlattenLayer("flatten"),
+        FullyConnectedLayer(4096, 256 * 6 * 6, name="fc6"),
+        ReluLayer("relu6"),
+        FullyConnectedLayer(4096, 4096, name="fc7"),
+        ReluLayer("relu7"),
+        FullyConnectedLayer(1000, 4096, name="fc8"),
+    ]
+    return Network("alexnet", TensorShape(3, 227, 227), layers)
+
+
+# (blocks, width, stride of first block) per module, He et al. Table 1.
+_RESNET50_MODULES = [
+    (3, 64, 1),   # conv2_x — "M1"
+    (4, 128, 2),  # conv3_x — "M2"
+    (6, 256, 2),  # conv4_x — "M3"
+    (3, 512, 2),  # conv5_x — "M4"
+]
+
+
+def resnet50() -> Network:
+    """ResNet-50 (He et al. 2016), bottleneck blocks named ``M{m}B{b}``."""
+    layers: list[Layer] = [
+        ConvLayer(ConvShape(name="conv1", w=224, h=224, c=3, k=64, r=7, s=7, stride=2, padding=3)),
+        ReluLayer("relu1"),
+        MaxPoolLayer(3, 2, name="pool1"),
+    ]
+    channels = 64
+    h = w = 56
+    for module_idx, (blocks, width, first_stride) in enumerate(_RESNET50_MODULES, start=1):
+        for block_idx in range(1, blocks + 1):
+            stride = first_stride if block_idx == 1 else 1
+            block = BottleneckBlock(
+                name=f"M{module_idx}B{block_idx}",
+                in_channels=channels, width=width, h=h, w=w, stride=stride)
+            layers.append(block)
+            channels = block.out_channels
+            h = block.conv2.shape.h
+            w = block.conv2.shape.w
+    layers.extend([
+        AvgPoolLayer(7, 7, name="avgpool"),
+        FlattenLayer("flatten"),
+        FullyConnectedLayer(1000, 2048, name="fc1000"),
+    ])
+    return Network("resnet50", TensorShape(3, 224, 224), layers)
+
+
+def paper_figure3_layers(network: Network) -> list[str]:
+    """The conv-layer names shown in the paper's Figure 3 for a network.
+
+    LeNet: conv1-3.  AlexNet: conv1-5.  ResNet: one instance of each
+    bottleneck layer position per module (``MxLy`` for x in 1..4, y in
+    1..3); we use the second block of each module so that projection/
+    stride special cases are avoided, matching "one instance of each
+    module" in the caption.
+    """
+    if network.name == "lenet":
+        return ["conv1", "conv2", "conv3"]
+    if network.name == "alexnet":
+        return ["conv1", "conv2", "conv3", "conv4", "conv5"]
+    if network.name == "resnet50":
+        return [f"M{m}B2L{layer}" for m in range(1, 5) for layer in range(1, 4)]
+    raise ValueError(f"no Figure 3 layer list for network {network.name!r}")
+
+
+def get_network(name: str) -> Network:
+    """Build a zoo network by name (``lenet`` / ``alexnet`` / ``resnet50``)."""
+    builders = {"lenet": lenet_cifar10, "alexnet": alexnet, "resnet50": resnet50}
+    if name not in builders:
+        raise KeyError(f"unknown network {name!r}; choose from {sorted(builders)}")
+    return builders[name]()

@@ -1,0 +1,46 @@
+"""Weight quantization substrate.
+
+The paper's mechanisms are enabled by training-time quantization schemes
+that shrink the number of unique weights ``U`` (Section II-B).  We
+implement faithful *post-hoc* versions of the schemes it cites:
+
+* :mod:`repro.quant.inq` — Incremental Network Quantization-style
+  powers-of-two quantization (U = 17 by default: 16 pow-2 levels + zero);
+* :mod:`repro.quant.ttq` — Trained Ternary Quantization-style ternary
+  weights (U = 3: {-w_n, 0, +w_p});
+* :mod:`repro.quant.uniform` — uniform k-bit fixed-point quantization
+  (U <= 2^k, e.g. 256 for 8-bit);
+* :mod:`repro.quant.sparsify` — magnitude pruning to a target density;
+* :mod:`repro.quant.distributions` — synthetic weight generators matching
+  the paper's evaluation setup (uniform non-zero values at a given U and
+  density) and Gaussian "trained-looking" weights;
+* :mod:`repro.quant.stats` — unique-value and density statistics.
+"""
+
+from repro.quant.distributions import (
+    gaussian_weights,
+    inq_like_weights,
+    uniform_unique_weights,
+)
+from repro.quant.inq import INQ_DEFAULT_LEVELS, inq_levels, quantize_inq
+from repro.quant.sparsify import prune_to_density, random_prune
+from repro.quant.stats import unique_weights, weight_density
+from repro.quant.ttq import quantize_ttq
+from repro.quant.types import QuantizedWeights
+from repro.quant.uniform import quantize_uniform
+
+__all__ = [
+    "INQ_DEFAULT_LEVELS",
+    "QuantizedWeights",
+    "gaussian_weights",
+    "inq_levels",
+    "inq_like_weights",
+    "prune_to_density",
+    "quantize_inq",
+    "quantize_ttq",
+    "quantize_uniform",
+    "random_prune",
+    "unique_weights",
+    "uniform_unique_weights",
+    "weight_density",
+]

@@ -1,0 +1,56 @@
+"""Weight sparsification to a target density.
+
+The paper's energy/performance sweeps fix the *weight density* (fraction
+of non-zero weights) at 90% / 65% / 50% (Section VI-B).  Two pruning modes
+are provided:
+
+* :func:`prune_to_density` — magnitude pruning (keep the largest |w|),
+  the standard Han-style pruning the paper cites;
+* :func:`random_prune` — zero uniformly random positions, exactly the
+  construction used for the paper's synthetic density sweeps ("we set
+  (100-density)% of weights to 0 ... via a uniform distribution").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _target_nonzeros(size: int, density: float) -> int:
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    return int(round(size * density))
+
+
+def prune_to_density(values: np.ndarray, density: float, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Magnitude-prune a tensor so exactly ``round(size*density)`` survive.
+
+    Ties in |value| are broken randomly so that quantized tensors (many
+    equal magnitudes) still hit the target density exactly.
+
+    Returns a new tensor of the same dtype/shape.
+    """
+    values = np.asarray(values)
+    rng = rng or np.random.default_rng(0)
+    keep = _target_nonzeros(values.size, density)
+    flat = values.reshape(-1)
+    magnitude = np.abs(flat).astype(np.float64)
+    # Random tiny jitter breaks magnitude ties without reordering distinct
+    # magnitudes (jitter < half the smallest non-zero magnitude gap).
+    jitter = rng.random(flat.size) * 1e-9
+    order = np.argsort(-(magnitude + jitter), kind="stable")
+    out = np.zeros_like(flat)
+    survivors = order[:keep]
+    out[survivors] = flat[survivors]
+    return out.reshape(values.shape)
+
+
+def random_prune(values: np.ndarray, density: float, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Zero uniformly-random positions so ``round(size*density)`` survive."""
+    values = np.asarray(values)
+    rng = rng or np.random.default_rng(0)
+    keep = _target_nonzeros(values.size, density)
+    flat = values.reshape(-1).copy()
+    order = rng.permutation(flat.size)
+    flat[order[keep:]] = 0
+    return flat.reshape(values.shape)

@@ -1,0 +1,65 @@
+"""Weight statistics: unique values, density, per-filter repetition.
+
+These feed both the repetition analysis of Figure 3 and the analytic
+simulator (which needs per-filter unique-weight histograms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def unique_weights(values: np.ndarray) -> np.ndarray:
+    """Sorted unique values of a weight tensor."""
+    return np.unique(np.asarray(values))
+
+
+def weight_density(values: np.ndarray) -> float:
+    """Fraction of non-zero weights."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("empty weight tensor")
+    return float(np.count_nonzero(values)) / values.size
+
+
+def per_filter_unique_counts(weights: np.ndarray) -> np.ndarray:
+    """Unique-value count per filter of a ``(K, ...)`` weight tensor.
+
+    Returns an int array of length K where entry k is the number of
+    distinct values (including zero if present) in filter k.
+    """
+    weights = np.asarray(weights)
+    k = weights.shape[0]
+    flat = weights.reshape(k, -1)
+    return np.array([np.unique(flat[i]).size for i in range(k)], dtype=np.int64)
+
+
+def filter_value_histogram(filter_weights: np.ndarray) -> dict[int, int]:
+    """Value -> occurrence-count map for one filter.
+
+    The *activation group sizes* of Section III-A: each unique weight's
+    count is the size of its activation group.
+    """
+    values, counts = np.unique(np.asarray(filter_weights).reshape(-1), return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def average_nonzero_repetition(filter_weights: np.ndarray) -> float:
+    """Average repetition count over the non-zero unique values of a filter.
+
+    Figure 3's "each non-zero" bar: for each distinct non-zero value,
+    count its occurrences; average those counts.  Returns 0.0 for an
+    all-zero filter.
+    """
+    flat = np.asarray(filter_weights).reshape(-1)
+    nonzero = flat[flat != 0]
+    if nonzero.size == 0:
+        return 0.0
+    __, counts = np.unique(nonzero, return_counts=True)
+    return float(np.mean(counts))
+
+
+def zero_repetition(filter_weights: np.ndarray) -> int:
+    """Occurrences of the zero weight in a filter (Figure 3's "Zero" bar)."""
+    flat = np.asarray(filter_weights).reshape(-1)
+    return int(np.count_nonzero(flat == 0))

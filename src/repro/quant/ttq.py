@@ -1,0 +1,59 @@
+"""TTQ-style ternary quantization.
+
+Trained Ternary Quantization (Zhu et al., 2016) constrains each layer's
+weights to three values ``{-W_n, 0, +W_p}`` (**U = 3**), with the two
+magnitudes learned per layer.  Our post-hoc version:
+
+1. threshold ``t = threshold_ratio * max|w|`` (TTQ uses 0.05 by default);
+2. weights with ``|w| <= t`` become 0;
+3. positive survivors become ``W_p`` = mean of the positive survivors,
+   negative survivors become ``-W_n`` analogously.
+
+The result is placed on an integer grid with resolution ``grid_bits`` so
+that W_p and W_n stay distinct integers (TTQ's asymmetric magnitudes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.types import QuantizedWeights
+
+
+def quantize_ttq(
+    weights: np.ndarray,
+    threshold_ratio: float = 0.05,
+    grid_bits: int = 8,
+) -> QuantizedWeights:
+    """Quantize real weights to ternary ``{-W_n, 0, +W_p}`` integers.
+
+    Args:
+        weights: real-valued weight tensor.
+        threshold_ratio: pruning threshold as a fraction of max |w|.
+        grid_bits: fixed-point grid used to represent the two magnitudes
+            (the larger magnitude maps to ``2^(grid_bits-1) - 1``).
+
+    Returns:
+        :class:`QuantizedWeights` with at most 3 unique values.
+    """
+    if not 0.0 <= threshold_ratio < 1.0:
+        raise ValueError("threshold_ratio must be in [0, 1)")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0 or not np.any(weights):
+        return QuantizedWeights(np.zeros(weights.shape, dtype=np.int64), 1.0, "ttq")
+    max_abs = float(np.max(np.abs(weights)))
+    threshold = threshold_ratio * max_abs
+    pos = weights > threshold
+    neg = weights < -threshold
+    w_p = float(np.mean(weights[pos])) if np.any(pos) else 0.0
+    w_n = float(np.mean(-weights[neg])) if np.any(neg) else 0.0
+    top = max(w_p, w_n)
+    if top == 0.0:
+        return QuantizedWeights(np.zeros(weights.shape, dtype=np.int64), 1.0, "ttq")
+    scale = top / (2 ** (grid_bits - 1) - 1)
+    p_int = int(round(w_p / scale))
+    n_int = int(round(w_n / scale))
+    out = np.zeros(weights.shape, dtype=np.int64)
+    out[pos] = p_int
+    out[neg] = -n_int
+    return QuantizedWeights(out, scale, "ttq")

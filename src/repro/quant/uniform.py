@@ -1,0 +1,43 @@
+"""Uniform k-bit fixed-point quantization.
+
+The "out-of-the-box" quantization path of the paper (Section II-B):
+reducing numerical precision to ``k`` bits bounds the number of unique
+weights at ``U <= 2^k`` (e.g. 256 for 8-bit weights, as in TPU-style
+deployments), which already guarantees repetition whenever the filter size
+``R*S*C`` exceeds ``U`` — the pigeonhole principle the paper leans on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.types import QuantizedWeights
+
+
+def quantize_uniform(weights: np.ndarray, bits: int = 8, symmetric: bool = True) -> QuantizedWeights:
+    """Quantize real weights to a uniform ``bits``-bit integer grid.
+
+    Args:
+        weights: real-valued weight tensor.
+        bits: total width including sign (e.g. 8 -> integers in [-128, 127]).
+        symmetric: if True, scale by max |w| so the grid is symmetric
+            around zero (the common inference-quantization choice).
+
+    Returns:
+        :class:`QuantizedWeights` with ``U <= 2^bits`` unique values.
+    """
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    weights = np.asarray(weights, dtype=np.float64)
+    qmax = 2 ** (bits - 1) - 1
+    qmin = -(2 ** (bits - 1))
+    max_abs = float(np.max(np.abs(weights))) if weights.size else 0.0
+    if max_abs == 0.0:
+        return QuantizedWeights(np.zeros(weights.shape, dtype=np.int64), 1.0, f"uniform{bits}")
+    if symmetric:
+        scale = max_abs / qmax
+    else:
+        lo, hi = float(weights.min()), float(weights.max())
+        scale = max(hi - lo, 1e-30) / (qmax - qmin)
+    raw = np.clip(np.rint(weights / scale), qmin, qmax).astype(np.int64)
+    return QuantizedWeights(raw, scale, f"uniform{bits}")

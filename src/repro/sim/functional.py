@@ -1,0 +1,155 @@
+"""Step-by-step lane state machines (independent cycle ground truth).
+
+:class:`UcnnLaneSimulator` walks a :class:`FilterGroupTables` entry by
+entry the way the Section IV-C datapath does — including explicit skip
+entries (bubbles) materialized into the entry stream and single-multiplier
+dispatch stalls — producing both the dot-product outputs and an exact
+cycle count.  The test suite checks it against the closed-form
+:meth:`FilterGroupTables.stats` and the analytic layer model.
+
+:class:`DcnnLaneSimulator` is the dense counterpart (one MAC per lane per
+cycle, VK lanes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hierarchical import INLINE_SKIP_CAPACITY, FilterGroupTables
+
+
+@dataclass
+class LaneTrace:
+    """What one lane did during a table walk.
+
+    Attributes:
+        cycles: total cycles including bubbles and stalls.
+        entry_cycles: cycles spent on real entries.
+        bubble_cycles: cycles spent on skip entries.
+        stall_cycles: multiplier-contention stalls.
+        multiplies: MACs dispatched.
+        outputs: the G dot products produced.
+    """
+
+    cycles: int = 0
+    entry_cycles: int = 0
+    bubble_cycles: int = 0
+    stall_cycles: int = 0
+    multiplies: int = 0
+    outputs: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+
+class UcnnLaneSimulator:
+    """Cycle-stepped UCNN lane over one shared table.
+
+    Args:
+        tables: the filter group's tables.
+        num_multipliers: multipliers available per lane group (1 in the
+            paper's PE).
+    """
+
+    def __init__(self, tables: FilterGroupTables, num_multipliers: int = 1):
+        self.tables = tables
+        self.num_multipliers = num_multipliers
+
+    def _bubbles_at(self, t: int) -> int:
+        """Skip entries consumed before real entry ``t``."""
+        g_count = self.tables.num_filters
+        total = 0
+        for g in range(g_count):
+            need = int(self.tables.skip_needs[g, t])
+            if g == g_count - 1:
+                over = max(0, need - INLINE_SKIP_CAPACITY)
+                total += -(-over // INLINE_SKIP_CAPACITY)
+            else:
+                total += need
+        return total
+
+    def run(self, window: np.ndarray) -> LaneTrace:
+        """Walk the table over one window, stepping cycle by cycle."""
+        tables = self.tables
+        window = np.asarray(window, dtype=np.int64).reshape(-1)
+        if window.size != tables.filter_size:
+            raise ValueError(f"window length {window.size} != filter size {tables.filter_size}")
+        g_count = tables.num_filters
+        trace = LaneTrace(outputs=np.zeros(g_count, dtype=np.int64))
+        acc_inner = 0
+        acc_outer = np.zeros(max(0, g_count - 1), dtype=np.int64)
+        chunk = 0
+        innermost = tables.transitions[g_count - 1] if tables.num_entries else np.zeros(0, dtype=bool)
+        for t in range(tables.num_entries):
+            bubbles = self._bubbles_at(t)
+            trace.bubble_cycles += bubbles
+            trace.cycles += bubbles
+            # The real entry: input read + accumulate.
+            trace.cycles += 1
+            trace.entry_cycles += 1
+            acc_inner += int(window[tables.iit[t]])
+            chunk += 1
+            at_inner_end = bool(innermost[t])
+            if chunk >= tables.max_group_size and not at_inner_end:
+                weight = int(tables.filters[g_count - 1, tables.iit[t]])
+                if weight != 0:
+                    trace.outputs[g_count - 1] += weight * acc_inner
+                    trace.multiplies += 1  # early MAC, alone: no stall
+                acc_outer += acc_inner
+                acc_inner = 0
+                chunk = 0
+            if at_inner_end:
+                macs_this_cycle = 0
+                weight = int(tables.filters[g_count - 1, tables.iit[t]])
+                if weight != 0:
+                    trace.outputs[g_count - 1] += weight * acc_inner
+                    macs_this_cycle += 1
+                acc_outer += acc_inner
+                for g in range(g_count - 2, -1, -1):
+                    if tables.transitions[g, t]:
+                        outer_weight = int(tables.filters[g, tables.iit[t]])
+                        if outer_weight != 0:
+                            trace.outputs[g] += outer_weight * int(acc_outer[g])
+                            macs_this_cycle += 1
+                        acc_outer[g] = 0
+                acc_inner = 0
+                chunk = 0
+                trace.multiplies += macs_this_cycle
+                stall = max(0, macs_this_cycle - self.num_multipliers)
+                trace.stall_cycles += stall
+                trace.cycles += stall
+        return trace
+
+
+class DcnnLaneSimulator:
+    """Dense PE lane group: VK filters, one input element per cycle.
+
+    Args:
+        filters: ``(VK, N)`` flattened filters evaluated together.
+        skip_zero_operands: DCNN_sp mode — multiplies with a zero weight
+            or activation are gated (energy), cycles unchanged.
+    """
+
+    def __init__(self, filters: np.ndarray, skip_zero_operands: bool = False):
+        self.filters = np.asarray(filters, dtype=np.int64)
+        if self.filters.ndim != 2:
+            raise ValueError("filters must be (VK, N)")
+        self.skip_zero_operands = skip_zero_operands
+
+    def run(self, window: np.ndarray) -> LaneTrace:
+        """One dense walk: N cycles, VK MACs per cycle."""
+        window = np.asarray(window, dtype=np.int64).reshape(-1)
+        vk, n = self.filters.shape
+        if window.size != n:
+            raise ValueError(f"window length {window.size} != filter size {n}")
+        trace = LaneTrace(outputs=np.zeros(vk, dtype=np.int64))
+        for t in range(n):
+            trace.cycles += 1
+            trace.entry_cycles += 1
+            act = int(window[t])
+            for lane in range(vk):
+                weight = int(self.filters[lane, t])
+                if self.skip_zero_operands and (weight == 0 or act == 0):
+                    continue
+                trace.outputs[lane] += weight * act
+                trace.multiplies += 1
+        return trace

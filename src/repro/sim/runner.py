@@ -1,0 +1,200 @@
+"""Network-level simulation: compose layers into whole-network results.
+
+A :class:`LayerResult` bundles one layer's events, L2/DRAM traffic,
+energy breakdown, and (for UCNN) table aggregate; :func:`simulate_network`
+runs every conv layer of a network under one design point with a shared
+weight provider and sums the results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import DesignKind, HardwareConfig
+from repro.arch.dataflow import L2Traffic, layer_l2_traffic
+from repro.arch.dram import (
+    DramTraffic,
+    dense_weight_model,
+    layer_dram_traffic,
+    sparse_weight_model,
+)
+from repro.core.activation_groups import canonical_weight_order
+from repro.core.model_size import ModelSizeBreakdown, ucnn_model_size
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.nn.tensor import ConvShape
+from repro.sim.analytic import UcnnLayerAggregate, simulate_layer
+from repro.sim.events import EventCounts
+
+#: Signature of a weight provider: layer shape -> (K, C, R, S) int tensor.
+WeightProvider = Callable[[ConvShape], np.ndarray]
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Everything the experiments need about one simulated layer.
+
+    Attributes:
+        name: layer name.
+        shape: layer geometry.
+        events: hardware event totals.
+        l2: L2 traffic.
+        dram: DRAM traffic.
+        energy: three-way energy breakdown.
+        weight_model: the design's DRAM weight representation.
+        aggregate: UCNN table aggregate (None for dense designs).
+    """
+
+    name: str
+    shape: ConvShape
+    events: EventCounts
+    l2: L2Traffic
+    dram: DramTraffic
+    energy: EnergyBreakdown
+    weight_model: ModelSizeBreakdown
+    aggregate: UcnnLayerAggregate | None
+
+    @property
+    def cycles(self) -> int:
+        """Layer runtime in cycles."""
+        return self.events.cycles
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """Summed results for a network under one design point.
+
+    Attributes:
+        config: the design point simulated.
+        layers: per-layer results in execution order.
+    """
+
+    config: HardwareConfig
+    layers: tuple[LayerResult, ...]
+
+    @property
+    def cycles(self) -> int:
+        """Total network runtime in cycles."""
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def energy(self) -> EnergyBreakdown:
+        """Total network energy."""
+        total = EnergyBreakdown(0.0, 0.0, 0.0)
+        for layer in self.layers:
+            total = total + layer.energy
+        return total
+
+    @property
+    def model_size(self) -> ModelSizeBreakdown:
+        """Total DRAM weight-representation footprint."""
+        total = None
+        for layer in self.layers:
+            total = layer.weight_model if total is None else total + layer.weight_model
+        if total is None:
+            raise ValueError("network has no layers")
+        return total
+
+    def find(self, name: str) -> LayerResult:
+        """Per-layer result by layer name."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r}")
+
+
+def run_layer(
+    shape: ConvShape,
+    config: HardwareConfig,
+    weights: np.ndarray | None = None,
+    weight_density: float | None = None,
+    input_density: float = 0.35,
+    first_layer: bool = False,
+    energy_model: EnergyModel | None = None,
+) -> LayerResult:
+    """Simulate one layer end to end (events -> traffic -> energy)."""
+    canonical = None
+    if config.is_ucnn and weights is not None:
+        canonical = canonical_weight_order(weights)
+    events, aggregate = simulate_layer(
+        shape, config, weights=weights, weight_density=weight_density,
+        input_density=input_density, canonical=canonical,
+    )
+    if config.is_ucnn:
+        assert aggregate is not None
+        weight_model = ucnn_model_size(
+            stored_entries=aggregate.entries,
+            skip_entries=aggregate.skip_bubbles,
+            dense_weights=shape.num_weights,
+            group_size=config.group_size,
+            filter_size=aggregate.tile_entries,
+            num_unique=aggregate.num_unique,
+            weight_bits=config.weight_bits,
+        )
+    elif config.kind is DesignKind.DCNN_SP:
+        if weight_density is None:
+            if weights is None:
+                raise ValueError("DCNN_sp needs weights or weight_density")
+            weights_arr = np.asarray(weights)
+            weight_density = float(np.count_nonzero(weights_arr)) / weights_arr.size
+        weight_model = sparse_weight_model(shape, config, weight_density)
+    else:
+        weight_model = dense_weight_model(shape, config)
+    l2 = layer_l2_traffic(shape, config, weight_model.total_bits, first_layer=first_layer)
+    dram = layer_dram_traffic(
+        shape, config, weight_model, input_density=input_density, first_layer=first_layer
+    )
+    model = energy_model or EnergyModel(config)
+    energy = model.breakdown(events, l2, dram)
+    return LayerResult(
+        name=shape.name,
+        shape=shape,
+        events=events,
+        l2=l2,
+        dram=dram,
+        energy=energy,
+        weight_model=weight_model,
+        aggregate=aggregate,
+    )
+
+
+def simulate_network(
+    shapes: Sequence[ConvShape],
+    config: HardwareConfig,
+    weight_provider: WeightProvider | None = None,
+    weight_density: float | None = None,
+    input_density: float = 0.35,
+) -> NetworkResult:
+    """Simulate every conv layer of a network under one design point.
+
+    Args:
+        shapes: conv-layer geometries in execution order (grouped layers
+            are simulated per filter group via ``shape.groups``).
+        config: the design point.
+        weight_provider: supplies the integer weight tensor per layer
+            (required for UCNN; optional for dense designs when
+            ``weight_density`` is given).
+        weight_density: fixed non-zero weight fraction for dense designs.
+        input_density: activation density (35% as in the paper).
+
+    Returns:
+        a :class:`NetworkResult`.
+    """
+    model = EnergyModel(config)
+    results = []
+    for index, shape in enumerate(shapes):
+        weights = weight_provider(shape) if weight_provider is not None else None
+        results.append(
+            run_layer(
+                shape,
+                config,
+                weights=weights,
+                weight_density=weight_density,
+                input_density=input_density,
+                first_layer=index == 0,
+                energy_model=model,
+            )
+        )
+    return NetworkResult(config=config, layers=tuple(results))

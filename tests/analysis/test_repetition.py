@@ -1,0 +1,45 @@
+"""Tests for the weight-repetition analysis (Figure 3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.repetition import layer_repetition, network_repetition
+from repro.quant.distributions import inq_like_weights
+
+
+class TestLayerRepetition:
+    def test_known_counts(self):
+        # Two filters: [5,5,0,3] and [7,7,7,7].
+        weights = np.array([[5, 5, 0, 3], [7, 7, 7, 7]])
+        rep = layer_repetition("t", weights)
+        # Filter 1: nonzero avg = (2 + 1)/2 = 1.5; filter 2: 4.
+        assert rep.nonzero_mean == pytest.approx((1.5 + 4) / 2)
+        assert rep.zero_mean == pytest.approx(0.5)
+        assert rep.filter_size == 4
+
+    def test_std_across_filters(self):
+        weights = np.array([[1, 1, 1, 1], [1, 2, 3, 4]])
+        rep = layer_repetition("t", weights)
+        assert rep.nonzero_std > 0
+
+    def test_multiply_savings_positive(self, rng):
+        weights = inq_like_weights((8, 16, 3, 3), density=0.9, rng=rng).values
+        rep = layer_repetition("t", weights)
+        assert rep.multiply_savings > 5  # 144 weights, <= 16 nonzero groups
+
+    def test_pigeonhole_floor(self, rng):
+        """Filter size >> U guarantees repetition (Section II-B)."""
+        weights = inq_like_weights((4, 256, 3, 3), density=0.9, rng=rng).values
+        rep = layer_repetition("t", weights)
+        assert rep.nonzero_mean >= (2304 * 0.9 / 16) * 0.5
+
+    def test_requires_filter_axis(self):
+        with pytest.raises(ValueError):
+            layer_repetition("t", np.array([1, 2, 3]))
+
+    def test_network_repetition(self, rng):
+        reps = network_repetition([
+            ("a", rng.integers(-2, 3, size=(2, 8))),
+            ("b", rng.integers(-2, 3, size=(3, 8))),
+        ])
+        assert [r.name for r in reps] == ["a", "b"]

@@ -1,0 +1,147 @@
+"""Tests for buffer tiling and the banked input buffer (Eqs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.banking import BankedLayout, simulate_vector_reads
+from repro.arch.buffers import (
+    channel_tile,
+    input_dram_tiles,
+    inputs_fit_on_chip,
+    outputs_fit_on_chip,
+    tile_plan,
+    weight_buffer_entries,
+)
+from repro.arch.config import dcnn_config, ucnn_config
+from repro.nn.tensor import ConvShape
+
+
+def shape_3x3(c=256, k=256, hw=14):
+    return ConvShape(name="t", w=hw, h=hw, c=c, k=k, r=3, s=3, padding=1)
+
+
+class TestChannelTile:
+    def test_fits_l1(self):
+        cfg = ucnn_config(17, 16)
+        shape = shape_3x3()
+        ct = channel_tile(shape, cfg)
+        capacity = cfg.l1_input_bytes // cfg.act_bytes
+        assert ct * shape.s * (cfg.vw + shape.r - 1) <= capacity
+
+    def test_8bit_doubles_tile(self):
+        shape = shape_3x3()
+        assert channel_tile(shape, ucnn_config(17, 8)) >= 2 * channel_tile(shape, ucnn_config(17, 16)) - 1
+
+    def test_capped_at_c(self):
+        shape = shape_3x3(c=2)
+        assert channel_tile(shape, ucnn_config(17, 16)) == 2
+
+    def test_at_least_one(self):
+        shape = ConvShape(name="big", w=30, h=30, c=4, k=1, r=11, s=11)
+        cfg = dcnn_config(16)
+        assert channel_tile(shape, cfg) >= 1
+
+    def test_1x1_layers_get_big_tiles(self):
+        shape = ConvShape(name="pw", w=14, h=14, c=1024, k=256, r=1, s=1)
+        cfg = ucnn_config(17, 16)
+        assert channel_tile(shape, cfg) >= 100
+
+
+class TestTilePlan:
+    def test_tiles_cover_channels(self):
+        shape = shape_3x3(c=100)
+        plan = tile_plan(shape, ucnn_config(17, 16))
+        assert plan.channel_tile * plan.num_tiles >= 100
+
+    def test_tile_entries(self):
+        plan = tile_plan(shape_3x3(), ucnn_config(17, 16))
+        assert plan.tile_entries == 9 * plan.channel_tile
+
+    def test_input_region(self):
+        cfg = ucnn_config(17, 16)
+        plan = tile_plan(shape_3x3(), cfg)
+        assert plan.input_region_entries == plan.channel_tile * 3 * (cfg.vw + 2)
+
+
+class TestL2Fit:
+    def test_small_layer_fits(self):
+        assert inputs_fit_on_chip(shape_3x3(hw=14), dcnn_config(16))
+
+    def test_huge_layer_spills(self):
+        shape = ConvShape(name="big", w=224, h=224, c=64, k=64, r=3, s=3, padding=1)
+        cfg = dcnn_config(16)
+        assert not inputs_fit_on_chip(shape, cfg)
+        assert input_dram_tiles(shape, cfg) > 1
+
+    def test_outputs_fit(self):
+        assert outputs_fit_on_chip(shape_3x3(), dcnn_config(16))
+
+    def test_fit_tiles_consistency(self):
+        shape = shape_3x3()
+        cfg = dcnn_config(16)
+        assert input_dram_tiles(shape, cfg) == 1
+
+    def test_weight_buffer_entries(self):
+        assert weight_buffer_entries(ucnn_config(17, 16)) == 17
+        assert weight_buffer_entries(dcnn_config(16)) == 576
+
+
+class TestBankedLayout:
+    def test_paper_example_vw2_r3_no_waste(self):
+        """The paper's example: VW=2 for R=3 eliminates waste."""
+        layout = BankedLayout(r=3, s=3, channel_tile=8, vw=2)
+        assert layout.wasted_fraction == 0.0
+
+    def test_waste_below_two_x(self):
+        for r in (1, 3, 5, 7, 11):
+            for vw in (1, 2, 4, 8):
+                layout = BankedLayout(r=r, s=3, channel_tile=4, vw=vw)
+                assert layout.wasted_fraction < 0.5
+
+    def test_eq3_bijection(self):
+        layout = BankedLayout(r=3, s=3, channel_tile=4, vw=4)
+        for tap in range(3):
+            banks = layout.banks_for_vector(tap)
+            assert sorted(banks) == list(range(4))
+
+    def test_conflict_free_certificate(self):
+        assert BankedLayout(r=5, s=5, channel_tile=3, vw=4).is_conflict_free()
+
+    def test_eq4_addresses_in_range(self):
+        layout = BankedLayout(r=3, s=2, channel_tile=4, vw=2)
+        for tap in range(3):
+            for s in range(2):
+                for c in range(4):
+                    for v in range(2):
+                        assert 0 <= layout.addr(tap, s, c, v) < layout.bank_words
+
+    def test_simulated_stream_no_conflicts(self, rng):
+        layout = BankedLayout(r=3, s=3, channel_tile=8, vw=4)
+        n = 50
+        indirections = np.stack([
+            rng.integers(0, 3, size=n),
+            rng.integers(0, 3, size=n),
+            rng.integers(0, 8, size=n),
+        ], axis=1)
+        assert simulate_vector_reads(layout, indirections) == 0
+
+    def test_fill_positions_consistent_with_reads(self):
+        """Eq 4 must read back the word the fill scheme placed."""
+        layout = BankedLayout(r=3, s=2, channel_tile=2, vw=2)
+        fill = layout.fill_positions()
+        for tap in range(layout.r):
+            for v in range(layout.vw):
+                column = tap + v  # input column hit by slide v at tap r
+                for s in range(layout.s):
+                    for c in range(layout.channel_tile):
+                        word = s * layout.channel_tile + c
+                        bank, addr = fill[(column, word)]
+                        assert bank == layout.bank(tap, v)
+                        assert addr == layout.addr(tap, s, c, v)
+
+    def test_bad_coords(self):
+        layout = BankedLayout(r=3, s=3, channel_tile=2, vw=2)
+        with pytest.raises(ValueError):
+            layout.bank(3, 0)
+        with pytest.raises(ValueError):
+            layout.addr(0, 3, 0, 0)

@@ -1,0 +1,93 @@
+"""Tests for hardware design points (Table II)."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.config import (
+    DesignKind,
+    HardwareConfig,
+    dcnn_config,
+    dcnn_sp_config,
+    paper_configs,
+    ucnn_config,
+)
+
+
+class TestTable2Rows:
+    def test_dcnn_row(self):
+        cfg = dcnn_config()
+        assert (cfg.vk, cfg.l1_input_bytes, cfg.l1_weight_bytes) == (8, 144, 1152)
+        assert cfg.dense_macs_per_cycle == 8
+
+    def test_ucnn_u3_row(self):
+        cfg = ucnn_config(3)
+        assert (cfg.vw, cfg.group_size) == (2, 4)
+        assert (cfg.l1_input_bytes, cfg.l1_weight_bytes) == (768, 129)
+
+    def test_ucnn_u17_row(self):
+        cfg = ucnn_config(17)
+        assert (cfg.vw, cfg.group_size) == (4, 2)
+        assert (cfg.l1_input_bytes, cfg.l1_weight_bytes) == (1152, 232)
+
+    def test_ucnn_large_row(self):
+        for u in (64, 256):
+            cfg = ucnn_config(u)
+            assert (cfg.vw, cfg.group_size) == (8, 1)
+            assert (cfg.l1_input_bytes, cfg.l1_weight_bytes) == (1920, 652)
+
+    def test_all_rows_throughput_normalized(self):
+        for cfg in paper_configs():
+            assert cfg.dense_macs_per_cycle == 8
+            assert cfg.num_pes == 32
+
+    def test_paper_configs_order(self):
+        names = [c.name for c in paper_configs()]
+        assert names == ["DCNN", "DCNN_sp", "UCNN U3", "UCNN U17", "UCNN U64", "UCNN U256"]
+
+
+class TestValidation:
+    def test_ucnn_requires_u(self):
+        with pytest.raises(ValueError, match="num_unique"):
+            HardwareConfig(name="x", kind=DesignKind.UCNN, vw=2, group_size=4)
+
+    def test_dense_rejects_group(self):
+        with pytest.raises(ValueError, match="dense designs"):
+            HardwareConfig(name="x", kind=DesignKind.DCNN, group_size=2)
+
+    def test_ucnn_rejects_vk(self):
+        with pytest.raises(ValueError, match="spatially"):
+            HardwareConfig(name="x", kind=DesignKind.UCNN, vk=2, num_unique=17)
+
+    def test_grid_must_match_pe_count(self):
+        with pytest.raises(ValueError, match="pe_cols"):
+            dataclasses.replace(dcnn_config(), pe_cols=5)
+
+    def test_min_u(self):
+        with pytest.raises(ValueError, match="num_unique"):
+            ucnn_config(1)
+
+
+class TestDerived:
+    def test_precision_bytes(self):
+        assert dcnn_config(16).act_bytes == 2
+        assert dcnn_config(8).weight_bytes == 1
+
+    def test_with_precision(self):
+        cfg = ucnn_config(17, 16).with_precision(8)
+        assert cfg.weight_bits == 8 and cfg.act_bits == 8
+        assert cfg.group_size == 2
+
+    def test_l2_scales_with_precision(self):
+        assert dcnn_config(16).l2_input_bytes == 2 * dcnn_config(8).l2_input_bytes
+
+    def test_is_ucnn(self):
+        assert ucnn_config(17).is_ucnn
+        assert not dcnn_sp_config().is_ucnn
+
+    def test_ucnn_grid_keeps_columns_in_flight(self):
+        """pe_cols * VW == 8 for every UCNN row (same columns in flight)."""
+        for u in (3, 17, 64):
+            cfg = ucnn_config(u)
+            assert cfg.pe_cols * cfg.vw == 8
+            assert cfg.pe_cols * cfg.pe_rows == 32

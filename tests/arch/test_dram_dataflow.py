@@ -1,0 +1,149 @@
+"""Tests for DRAM traffic, the dataflow partition, and L2 accounting."""
+
+import pytest
+
+from repro.arch.config import dcnn_config, dcnn_sp_config, ucnn_config
+from repro.arch.dataflow import (
+    filters_per_slot,
+    kc_chunk_filters,
+    layer_l2_traffic,
+    partition_layer,
+)
+from repro.arch.dram import (
+    DRAM_PJ_PER_BIT,
+    RLE_BITS,
+    activation_dram_bits,
+    dense_weight_model,
+    layer_dram_traffic,
+    sparse_weight_model,
+)
+from repro.nn.tensor import ConvShape
+
+
+def small_shape():
+    return ConvShape(name="t", w=14, h=14, c=64, k=64, r=3, s=3, padding=1)
+
+
+def huge_shape():
+    return ConvShape(name="big", w=224, h=224, c=64, k=64, r=3, s=3, padding=1)
+
+
+class TestDramTraffic:
+    def test_weights_once_when_fitting(self):
+        cfg = dcnn_config(16)
+        shape = small_shape()
+        model = dense_weight_model(shape, cfg)
+        traffic = layer_dram_traffic(shape, cfg, model)
+        assert traffic.weight_bits == shape.num_weights * 16
+
+    def test_weights_refetched_per_tile(self):
+        cfg = dcnn_config(16)
+        shape = huge_shape()
+        model = dense_weight_model(shape, cfg)
+        traffic = layer_dram_traffic(shape, cfg, model)
+        assert traffic.weight_bits > model.total_bits
+
+    def test_first_layer_reads_inputs(self):
+        cfg = dcnn_config(16)
+        shape = small_shape()
+        model = dense_weight_model(shape, cfg)
+        with_first = layer_dram_traffic(shape, cfg, model, first_layer=True)
+        without = layer_dram_traffic(shape, cfg, model, first_layer=False)
+        assert with_first.input_bits > 0
+        assert without.input_bits == 0
+
+    def test_spilling_layer_writes_outputs(self):
+        cfg = dcnn_config(16)
+        shape = huge_shape()
+        model = dense_weight_model(shape, cfg)
+        traffic = layer_dram_traffic(shape, cfg, model)
+        assert traffic.output_bits > 0
+
+    def test_energy_is_20pj_per_bit(self):
+        cfg = dcnn_config(16)
+        shape = small_shape()
+        traffic = layer_dram_traffic(shape, cfg, dense_weight_model(shape, cfg))
+        assert traffic.energy_pj == traffic.total_bits * DRAM_PJ_PER_BIT
+
+
+class TestCompression:
+    def test_dcnn_sp_activation_rle(self):
+        cfg = dcnn_sp_config(8)
+        bits = activation_dram_bits(1000, cfg, density=0.35)
+        assert bits == 350 * (8 + RLE_BITS)
+
+    def test_dense_designs_ship_dense_activations(self):
+        for cfg in (dcnn_config(8), ucnn_config(17, 8)):
+            assert activation_dram_bits(1000, cfg, 0.35) == 8000
+
+    def test_sparse_weight_model(self):
+        cfg = dcnn_sp_config(8)
+        shape = small_shape()
+        model = sparse_weight_model(shape, cfg, weight_density=0.5)
+        expected = shape.num_weights // 2 * (8 + RLE_BITS)
+        assert model.total_bits == expected
+
+
+class TestPartition:
+    def test_filters_per_slot(self):
+        assert filters_per_slot(dcnn_config()) == 8
+        assert filters_per_slot(ucnn_config(17)) == 2
+
+    def test_work_items_cover_layer(self):
+        shape = small_shape()
+        for cfg in (dcnn_config(), ucnn_config(3), ucnn_config(17)):
+            part = partition_layer(shape, cfg)
+            per_slot = filters_per_slot(cfg)
+            assert part.col_groups * cfg.vw >= shape.out_w
+            assert part.filter_slots * per_slot >= shape.k
+
+    def test_rounds_positive(self):
+        part = partition_layer(small_shape(), dcnn_config())
+        assert part.rounds >= 1
+
+    def test_kc_fills_l2(self):
+        shape = small_shape()
+        cfg = dcnn_config(16)
+        kc = kc_chunk_filters(shape, cfg)
+        assert kc * shape.filter_size * 16 <= cfg.l2_weight_bytes * 8 or kc == 1
+        assert kc <= shape.k
+
+
+class TestL2Traffic:
+    def test_outputs_written_once(self):
+        shape = small_shape()
+        cfg = dcnn_config(16)
+        traffic = layer_l2_traffic(shape, cfg, weight_stream_bits=1000)
+        assert traffic.output_write_bits == shape.num_outputs * 16
+
+    def test_weight_reads_scale_with_column_batches(self):
+        cfg = dcnn_config(16)
+        narrow = ConvShape(name="n", w=10, h=10, c=8, k=8, r=3, s=3, padding=1)
+        wide = ConvShape(name="w", w=130, h=10, c=8, k=8, r=3, s=3, padding=1)
+        t_narrow = layer_l2_traffic(narrow, cfg, weight_stream_bits=1000)
+        t_wide = layer_l2_traffic(wide, cfg, weight_stream_bits=1000)
+        assert t_wide.weight_read_bits > t_narrow.weight_read_bits
+
+    def test_first_layer_fills_inputs(self):
+        shape = small_shape()
+        cfg = dcnn_config(16)
+        first = layer_l2_traffic(shape, cfg, 1000, first_layer=True)
+        later = layer_l2_traffic(shape, cfg, 1000, first_layer=False)
+        assert first.input_fill_bits == shape.num_inputs * 16
+        assert later.input_fill_bits == 0
+
+    def test_ucnn_halo_amortized_by_vw(self):
+        """Per output column, UCNN reads (R+VW-1)/VW input columns, less
+        than DCNN's R — the slide-overlap benefit of spatial vectors."""
+        shape = small_shape()
+        dcnn = layer_l2_traffic(shape, dcnn_config(16), 10_000)
+        ucnn = layer_l2_traffic(shape, ucnn_config(17, 16), 10_000)
+        assert ucnn.input_read_bits < dcnn.input_read_bits
+
+    def test_total_access_bits(self):
+        shape = small_shape()
+        traffic = layer_l2_traffic(shape, dcnn_config(16), 1000, first_layer=True)
+        total = (traffic.weight_read_bits + traffic.input_read_bits
+                 + traffic.output_write_bits + traffic.weight_fill_bits
+                 + traffic.input_fill_bits)
+        assert traffic.total_access_bits == total

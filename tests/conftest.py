@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; each test gets a fresh generator."""
+    return np.random.default_rng(12345)
+
+
+def random_filter(rng: np.random.Generator, n: int, num_values: int = 5) -> np.ndarray:
+    """A random integer filter with a small value alphabet."""
+    half = num_values // 2
+    return rng.integers(-half, half + 1, size=n).astype(np.int64)

@@ -1,0 +1,119 @@
+"""Tests for activation groups and the canonical weight order."""
+
+import numpy as np
+import pytest
+
+from repro.core.activation_groups import (
+    ActivationGroup,
+    build_activation_groups,
+    canonical_weight_order,
+    factored_dot_product_reference,
+    group_sizes,
+    rank_by_canonical,
+)
+
+
+class TestCanonicalWeightOrder:
+    def test_zero_sorted_last(self):
+        order = canonical_weight_order(np.array([0, 3, -1, 2]))
+        assert order[-1] == 0
+
+    def test_descending_magnitude(self):
+        order = canonical_weight_order(np.array([1, -4, 2, 8]))
+        assert list(np.abs(order)) == sorted(np.abs(order), reverse=True)
+
+    def test_positive_before_negative_on_tie(self):
+        order = canonical_weight_order(np.array([-4, 4, -2, 2]))
+        assert list(order) == [4, -4, 2, -2]
+
+    def test_no_zero_when_absent(self):
+        order = canonical_weight_order(np.array([5, -5, 1]))
+        assert 0 not in order
+
+    def test_duplicates_collapsed(self):
+        order = canonical_weight_order(np.array([3, 3, 3, -1, -1]))
+        assert order.size == 2
+
+    def test_single_value(self):
+        assert list(canonical_weight_order(np.array([7, 7]))) == [7]
+
+    def test_all_zero(self):
+        assert list(canonical_weight_order(np.zeros(4, dtype=np.int64))) == [0]
+
+    def test_deterministic(self):
+        values = np.array([4, -4, 0, 1, -3])
+        a = canonical_weight_order(values)
+        b = canonical_weight_order(values[::-1])
+        assert np.array_equal(a, b)
+
+
+class TestRankByCanonical:
+    def test_ranks_match_positions(self):
+        canonical = canonical_weight_order(np.array([0, 2, -1]))
+        ranks = rank_by_canonical(np.array([2, -1, 0, 2]), canonical)
+        assert list(ranks) == [0, 1, 2, 0]
+
+    def test_shape_preserved(self):
+        canonical = np.array([3, 1, 0])
+        values = np.array([[1, 3], [0, 0]])
+        assert rank_by_canonical(values, canonical).shape == (2, 2)
+
+    def test_missing_value_raises(self):
+        with pytest.raises(ValueError, match="not present"):
+            rank_by_canonical(np.array([9]), np.array([1, 2, 0]))
+
+
+class TestBuildActivationGroups:
+    def test_group_per_unique_nonzero(self):
+        filt = np.array([2, 2, -1, 0, -1, 2])
+        groups = build_activation_groups(filt)
+        assert [g.weight for g in groups] == [2, -1]
+
+    def test_sizes_are_repetition_counts(self):
+        filt = np.array([2, 2, -1, 0, -1, 2])
+        assert [g.size for g in build_activation_groups(filt)] == [3, 2]
+
+    def test_indices_point_at_weight(self):
+        filt = np.array([5, 0, 5, -3])
+        for group in build_activation_groups(filt):
+            assert np.all(filt[group.indices] == group.weight)
+
+    def test_zero_group_excluded_by_default(self):
+        filt = np.array([0, 0, 1])
+        assert all(g.weight != 0 for g in build_activation_groups(filt))
+
+    def test_zero_group_included_on_request(self):
+        filt = np.array([0, 0, 1])
+        groups = build_activation_groups(filt, include_zero=True)
+        assert groups[-1].weight == 0 and groups[-1].size == 2
+
+    def test_groups_partition_nonzero_positions(self):
+        filt = np.array([1, -1, 0, 1, 2, 2, 0])
+        indices = np.concatenate([g.indices for g in build_activation_groups(filt)])
+        assert sorted(indices) == sorted(np.flatnonzero(filt))
+
+    def test_gather_sum(self):
+        group = ActivationGroup(weight=3, indices=np.array([0, 2]))
+        assert group.gather_sum(np.array([10, 99, -4])) == 6
+
+    def test_group_sizes_helper(self):
+        # Canonical order: -2 (larger magnitude) first, then 1.
+        filt = np.array([1, 1, 1, -2, 0])
+        assert list(group_sizes(filt)) == [1, 3]
+
+
+class TestFactoredDotProductReference:
+    def test_matches_dense(self, rng):
+        for __ in range(20):
+            n = int(rng.integers(1, 40))
+            filt = rng.integers(-3, 4, size=n)
+            window = rng.integers(-9, 10, size=n)
+            expected = int(np.dot(filt.astype(np.int64), window.astype(np.int64)))
+            assert factored_dot_product_reference(filt, window) == expected
+
+    def test_all_zero_filter(self):
+        assert factored_dot_product_reference(np.zeros(5, dtype=int), np.arange(5)) == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal flattened length"):
+            factored_dot_product_reference(np.array([1, 2]), np.array([1, 2, 3]))

@@ -1,0 +1,102 @@
+"""Tests for FactorizedDotProduct / FactorizedConv."""
+
+import numpy as np
+import pytest
+
+from repro.core.factorized import FactorizedConv, FactorizedDotProduct, OpCounts
+from repro.nn.reference import conv2d_im2col
+
+
+class TestFactorizedDotProduct:
+    def test_outputs_match_dense(self, rng):
+        filters = rng.integers(-3, 4, size=(2, 30))
+        window = rng.integers(-9, 10, size=30)
+        fdp = FactorizedDotProduct(filters)
+        assert np.array_equal(fdp.compute(window), filters @ window)
+
+    def test_compute_many(self, rng):
+        filters = rng.integers(-3, 4, size=(3, 20))
+        windows = rng.integers(-9, 10, size=(7, 20))
+        fdp = FactorizedDotProduct(filters)
+        assert np.array_equal(fdp.compute_many(windows), filters @ windows.T)
+
+    def test_stats_available(self, rng):
+        fdp = FactorizedDotProduct(rng.integers(-2, 3, size=(2, 40)))
+        st = fdp.stats()
+        assert st.num_entries <= 40
+        assert st.num_filters == 2
+
+
+class TestFactorizedConv:
+    @pytest.mark.parametrize("group_size", [1, 2, 3])
+    def test_forward_matches_reference(self, group_size, rng):
+        weights = rng.integers(-3, 4, size=(5, 3, 3, 3))
+        inputs = rng.integers(-8, 9, size=(3, 8, 8))
+        conv = FactorizedConv(weights, group_size=group_size)
+        assert np.array_equal(conv.forward(inputs), conv2d_im2col(inputs, weights))
+
+    def test_forward_fast_matches_forward(self, rng):
+        weights = rng.integers(-3, 4, size=(4, 2, 3, 3))
+        inputs = rng.integers(-8, 9, size=(2, 9, 9))
+        conv = FactorizedConv(weights, group_size=2)
+        assert np.array_equal(conv.forward(inputs), conv.forward_fast(inputs))
+
+    def test_stride_and_padding(self, rng):
+        weights = rng.integers(-3, 4, size=(3, 2, 3, 3))
+        inputs = rng.integers(-8, 9, size=(2, 10, 10))
+        conv = FactorizedConv(weights, group_size=2, stride=2, padding=1)
+        ref = conv2d_im2col(inputs, weights, stride=2, padding=1)
+        assert np.array_equal(conv.forward(inputs), ref)
+
+    def test_k_not_divisible_by_g(self, rng):
+        weights = rng.integers(-3, 4, size=(5, 2, 2, 2))
+        inputs = rng.integers(-8, 9, size=(2, 6, 6))
+        conv = FactorizedConv(weights, group_size=2)
+        assert len(conv.groups) == 3
+        assert conv.groups[-1].num_filters == 1
+        assert np.array_equal(conv.forward(inputs), conv2d_im2col(inputs, weights))
+
+    def test_sparse_weights(self, rng):
+        weights = rng.integers(-2, 3, size=(4, 3, 3, 3))
+        weights[rng.random(size=weights.shape) < 0.6] = 0
+        inputs = rng.integers(-8, 9, size=(3, 7, 7))
+        conv = FactorizedConv(weights, group_size=2)
+        assert np.array_equal(conv.forward(inputs), conv2d_im2col(inputs, weights))
+
+    def test_channel_mismatch_raises(self, rng):
+        conv = FactorizedConv(rng.integers(-2, 3, size=(2, 3, 3, 3)))
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv.forward(rng.integers(-8, 9, size=(4, 8, 8)))
+
+    def test_bad_weights_shape(self):
+        with pytest.raises(ValueError, match="K, C, R, S"):
+            FactorizedConv(np.zeros((2, 3, 3), dtype=np.int64))
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError, match="group_size"):
+            FactorizedConv(np.zeros((2, 3, 3, 3), dtype=np.int64), group_size=0)
+
+    def test_layer_canonical_shares_weight_order(self, rng):
+        weights = rng.integers(-3, 4, size=(4, 2, 3, 3))
+        conv = FactorizedConv(weights, group_size=2, layer_canonical=True)
+        canon = conv.canonical
+        for tables in conv.groups:
+            assert np.array_equal(tables.canonical, canon)
+
+    def test_op_counts_savings(self, rng):
+        weights = rng.choice([0, 1, 2, -1], size=(8, 4, 3, 3)).astype(np.int64)
+        conv = FactorizedConv(weights, group_size=2)
+        counts = conv.op_counts(out_positions=10)
+        assert isinstance(counts, OpCounts)
+        assert counts.dense_multiplies == 8 * 4 * 9 * 10
+        assert counts.multiplies < counts.dense_multiplies
+        assert counts.multiply_savings > 1.0
+
+    def test_op_counts_additive(self, rng):
+        weights = rng.integers(-2, 3, size=(2, 2, 2, 2))
+        conv = FactorizedConv(weights)
+        a = conv.op_counts(3)
+        b = conv.op_counts(3)
+        total = a + b
+        assert total.multiplies == 2 * a.multiplies
+        assert total.input_reads == 2 * a.input_reads

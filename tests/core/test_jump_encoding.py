@@ -1,0 +1,162 @@
+"""Tests for jump-based indirection table compression."""
+
+import numpy as np
+import pytest
+
+from repro.core.jump_encoding import (
+    JumpTable,
+    encode_jumps,
+    grouped_jump_stats,
+    jump_hop_count,
+    jump_limits,
+    min_pointer_bits,
+)
+
+
+class TestJumpLimits:
+    def test_two_bits(self):
+        assert jump_limits(2) == (-2, 1)
+
+    def test_eight_bits(self):
+        assert jump_limits(8) == (-128, 127)
+
+    def test_too_narrow(self):
+        with pytest.raises(ValueError, match="jump width"):
+            jump_limits(1)
+
+
+class TestEncodeDecode:
+    def test_simple_sequence(self):
+        addrs = np.array([0, 1, 2, 10])
+        table = encode_jumps(addrs, width_bits=4)
+        assert np.array_equal(table.decode(), addrs)
+        assert table.num_hops == 1  # 2 -> 10 needs one forward hop (max 7)
+
+    def test_backward_jump(self):
+        addrs = np.array([50, 10])
+        table = encode_jumps(addrs, width_bits=4, base=49)
+        assert np.array_equal(table.decode(), addrs)
+        assert table.num_hops == 4  # delta -40, min jump -8 -> 4 hops
+
+    def test_wide_enough_no_hops(self):
+        addrs = np.array([5, 100, 3, 77])
+        table = encode_jumps(addrs, width_bits=9)
+        assert table.num_hops == 0
+
+    def test_total_bits(self):
+        addrs = np.array([0, 1])
+        table = encode_jumps(addrs, width_bits=6)
+        assert table.total_bits == table.num_entries * 6
+
+    def test_overhead_factor(self):
+        addrs = np.array([0, 100])
+        table = encode_jumps(addrs, width_bits=4)
+        assert table.overhead_factor() == table.num_entries / 2
+
+    def test_empty_overhead(self):
+        table = JumpTable(
+            jumps=np.zeros(0, dtype=np.int64),
+            is_hop=np.zeros(0, dtype=bool),
+            width_bits=4,
+        )
+        assert table.overhead_factor() == 1.0
+
+    def test_first_entry_relative_to_base(self):
+        table = encode_jumps(np.array([0]), width_bits=4, base=-1)
+        assert table.jumps[0] == 1
+
+
+class TestHopCount:
+    def test_matches_encoder(self, rng):
+        for __ in range(40):
+            n = int(rng.integers(1, 50))
+            addrs = rng.choice(300, size=n, replace=False)
+            width = int(rng.integers(2, 10))
+            assert jump_hop_count(addrs, width) == encode_jumps(addrs, width).num_hops
+
+    def test_empty(self):
+        assert jump_hop_count(np.array([], dtype=np.int64), 4) == 0
+
+    def test_monotone_in_width(self, rng):
+        addrs = rng.choice(400, size=40, replace=False)
+        hops = [jump_hop_count(addrs, w) for w in range(2, 11)]
+        assert all(a >= b for a, b in zip(hops, hops[1:]))
+
+
+class TestGroupedJumps:
+    """The paper's actual scheme: within-group jumps + group anchors."""
+
+    def test_anchor_per_group(self):
+        # Two groups: addresses [0, 5, 9 | 2, 7], ends at indices 2, 4.
+        addrs = np.array([0, 5, 9, 2, 7])
+        ends = np.array([False, False, True, False, True])
+        stats = grouped_jump_stats(addrs, ends, width_bits=4, pointer_bits=9)
+        assert stats.anchor_entries == 2
+        assert stats.jump_entries == 3
+        assert stats.hop_entries == 0
+
+    def test_iit_bits(self):
+        addrs = np.array([0, 5, 9, 2, 7])
+        ends = np.array([False, False, True, False, True])
+        stats = grouped_jump_stats(addrs, ends, width_bits=4, pointer_bits=9)
+        assert stats.iit_bits == 2 * 9 + 3 * 4
+
+    def test_wide_gap_inserts_hops(self):
+        # Gap of 20 with 3-bit jumps (capacity 7): ceil((20-7)/7) = 2 hops.
+        addrs = np.array([0, 20])
+        ends = np.array([False, True])
+        stats = grouped_jump_stats(addrs, ends, width_bits=3, pointer_bits=9)
+        assert stats.hop_entries == 2
+
+    def test_group_boundary_gap_free(self):
+        """Backward moves at group starts cost nothing (absolute anchor)."""
+        addrs = np.array([100, 0])
+        ends = np.array([True, True])
+        stats = grouped_jump_stats(addrs, ends, width_bits=2, pointer_bits=9)
+        assert stats.hop_entries == 0
+        assert stats.anchor_entries == 2
+
+    def test_non_ascending_within_group_rejected(self):
+        addrs = np.array([5, 3])
+        ends = np.array([False, True])
+        with pytest.raises(ValueError, match="ascend"):
+            grouped_jump_stats(addrs, ends, width_bits=4, pointer_bits=9)
+
+    def test_wider_jumps_fewer_hops(self, rng):
+        addrs = np.sort(rng.choice(500, size=40, replace=False))
+        ends = np.zeros(40, dtype=bool)
+        ends[-1] = True
+        hops = [
+            grouped_jump_stats(addrs, ends, w, 9).hop_entries
+            for w in range(1, 10)
+        ]
+        assert all(a >= b for a, b in zip(hops, hops[1:]))
+
+    def test_empty(self):
+        stats = grouped_jump_stats(np.array([], dtype=np.int64), np.array([], dtype=bool), 4, 9)
+        assert stats.total_entries == 0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            grouped_jump_stats(np.array([1, 2]), np.array([True]), 4, 9)
+
+    def test_real_table_addresses_encode(self, rng):
+        """Addresses from a real hierarchical table satisfy the ascending
+        invariant and encode without error."""
+        from repro.core.hierarchical import build_filter_group_tables
+        filters = rng.integers(-2, 3, size=(2, 60))
+        tables = build_filter_group_tables(filters)
+        ends = tables.transitions[1]
+        stats = grouped_jump_stats(tables.iit, ends, width_bits=6, pointer_bits=6)
+        assert stats.anchor_entries == int(ends.sum())
+
+
+class TestPointerBits:
+    def test_powers_of_two(self):
+        assert min_pointer_bits(256) == 8
+        assert min_pointer_bits(257) == 9
+        assert min_pointer_bits(2) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="filter_size"):
+            min_pointer_bits(0)

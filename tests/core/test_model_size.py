@@ -1,0 +1,80 @@
+"""Tests for model-size accounting (Figure 13/14 machinery)."""
+
+import pytest
+
+from repro.core.model_size import (
+    dcnn_sp_model_size,
+    dense_model_size,
+    inq_model_size,
+    ttq_model_size,
+    ucnn_model_size,
+    wit_bits_per_entry,
+)
+
+
+class TestWitBits:
+    def test_g1_has_two_bits(self):
+        """Transition bit + the G-th filter's inline skip bit."""
+        assert wit_bits_per_entry(1) == 2
+
+    def test_g4(self):
+        assert wit_bits_per_entry(4) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wit_bits_per_entry(0)
+
+
+class TestUcnnModelSize:
+    def test_paper_formula_per_weight(self):
+        """(|iiT.entry| + G*|wiT.entry|)/G per stored entry, Section IV-C."""
+        # 512-entry tile -> 9-bit pointers; G=2 -> 3 wiT bits per entry.
+        model = ucnn_model_size(
+            stored_entries=1000, skip_entries=0, dense_weights=2000,
+            group_size=2, filter_size=512, num_unique=17, weight_bits=16,
+        )
+        expected = (1000 * (9 + 3) + 17 * 16) / 2000
+        assert model.bits_per_weight == pytest.approx(expected)
+
+    def test_skip_entries_counted(self):
+        a = ucnn_model_size(100, 0, 1000, 1, 256, 17, 8)
+        b = ucnn_model_size(100, 10, 1000, 1, 256, 17, 8)
+        assert b.total_bits > a.total_bits
+
+    def test_jump_bits_shrink_entries(self):
+        ptr = ucnn_model_size(100, 0, 1000, 1, 1024, 17, 8)
+        jmp = ucnn_model_size(100, 0, 1000, 1, 1024, 17, 8, jump_bits=6)
+        assert jmp.iit_bits < ptr.iit_bits
+
+    def test_group_compression(self):
+        """Larger G amortizes the iiT across filters (O(G) compression)."""
+        g1 = ucnn_model_size(1000, 0, 1000, 1, 512, 17, 8)
+        g2 = ucnn_model_size(1000, 0, 2000, 2, 512, 17, 8)
+        assert g2.bits_per_weight < g1.bits_per_weight
+
+    def test_addition(self):
+        a = ucnn_model_size(100, 0, 1000, 1, 256, 17, 8)
+        total = a + a
+        assert total.dense_weights == 2000
+        assert total.total_bits == 2 * a.total_bits
+        assert total.bits_per_weight == pytest.approx(a.bits_per_weight)
+
+
+class TestBaselines:
+    def test_dcnn_sp_rle(self):
+        model = dcnn_sp_model_size(nonzero_weights=500, dense_weights=1000, weight_bits=8)
+        assert model.bits_per_weight == pytest.approx(0.5 * (8 + 5))
+
+    def test_dense(self):
+        assert dense_model_size(1000, 16).bits_per_weight == 16
+
+    def test_ttq_two_bits(self):
+        assert ttq_model_size(12345).bits_per_weight == 2
+
+    def test_inq_five_bits(self):
+        assert inq_model_size(999).bits_per_weight == 5
+
+    def test_sparsity_helps_dcnn_sp(self):
+        dense50 = dcnn_sp_model_size(500, 1000, 8)
+        dense90 = dcnn_sp_model_size(900, 1000, 8)
+        assert dense50.bits_per_weight < dense90.bits_per_weight

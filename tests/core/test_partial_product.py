@@ -1,0 +1,76 @@
+"""Tests for partial product reuse (Section III-C extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partial_product import (
+    conv1d_dense,
+    memoized_conv1d,
+    partial_product_savings,
+)
+
+
+class TestConv1d:
+    def test_dense_known_values(self):
+        # Figure 1a's example: filter {a, b, a} with a=2, b=3.
+        inputs = np.array([1, 2, 3, 4, 5])
+        filt = np.array([2, 3, 2])
+        out = conv1d_dense(inputs, filt)
+        assert list(out) == [2 * 1 + 3 * 2 + 2 * 3, 2 * 2 + 3 * 3 + 2 * 4, 2 * 3 + 3 * 4 + 2 * 5]
+
+    def test_filter_too_long(self):
+        with pytest.raises(ValueError, match="longer"):
+            conv1d_dense(np.array([1]), np.array([1, 2]))
+
+
+class TestMemoizedConv1d:
+    def test_bit_exact(self, rng):
+        for __ in range(20):
+            n = int(rng.integers(3, 60))
+            r = int(rng.integers(1, min(n, 8)))
+            inputs = rng.integers(-9, 10, size=n)
+            filt = rng.integers(-3, 4, size=r)
+            out, __stats = memoized_conv1d(inputs, filt)
+            assert np.array_equal(out, conv1d_dense(inputs, filt))
+
+    def test_figure1c_saves_a_third(self):
+        """Filter {a, b, a}: the repeated tap a halves a's multiplies as
+        the filter slides (Figure 1c's memoization)."""
+        inputs = np.arange(1, 30)
+        filt = np.array([2, 3, 2])  # a=2 appears twice
+        __, stats = memoized_conv1d(inputs, filt)
+        assert stats.memo_hits > 0
+        assert stats.multiply_savings > 1.3
+
+    def test_no_repetition_no_savings(self):
+        inputs = np.arange(1, 20)
+        filt = np.array([1, 2, 3])  # all taps distinct
+        __, stats = memoized_conv1d(inputs, filt)
+        # Only boundary effects: interior products unique per (value, site).
+        assert stats.multiply_savings == pytest.approx(1.0, abs=0.01)
+
+    def test_zero_taps_skipped(self):
+        inputs = np.arange(1, 10)
+        filt = np.array([0, 5, 0])
+        __, stats = memoized_conv1d(inputs, filt)
+        assert stats.dense_multiplies == 7  # one non-zero tap per position
+
+
+class TestLayerSavings:
+    def test_cross_filter_reuse(self, rng):
+        # Many filters sharing few values within each channel.
+        weights = rng.choice([1, 2, -1], size=(16, 4, 3, 3)).astype(np.int64)
+        stats = partial_product_savings(weights, out_positions=10)
+        # Per channel: up to 3 unique values vs 16*9 non-zero taps.
+        assert stats.multiply_savings > 10
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError, match="K, C, R, S"):
+            partial_product_savings(np.zeros((2, 2)), 1)
+
+    def test_savings_scale_with_k(self, rng):
+        few = partial_product_savings(
+            rng.choice([1, 2], size=(2, 4, 3, 3)).astype(np.int64), 10)
+        many = partial_product_savings(
+            rng.choice([1, 2], size=(64, 4, 3, 3)).astype(np.int64), 10)
+        assert many.multiply_savings > few.multiply_savings

@@ -1,0 +1,68 @@
+"""Failure-injection tests: malformed tables must be rejected loudly.
+
+The offline table generator is trusted, but anything *loading* tables
+(e.g. from a serialized model) must not silently compute garbage — the
+dataclass validators are the guard rail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.indirection import FactorizedFilter, factorize_filter
+
+
+class TestFactorizedFilterValidation:
+    def good(self):
+        return factorize_filter(np.array([1, 1, 2, 0, 2]))
+
+    def test_length_mismatch_rejected(self):
+        good = self.good()
+        with pytest.raises(ValueError, match="same length"):
+            FactorizedFilter(
+                iit=good.iit[:-1], wit=good.wit,
+                weight_buffer=good.weight_buffer, filter_size=good.filter_size)
+
+    def test_missing_final_transition_rejected(self):
+        good = self.good()
+        wit = good.wit.copy()
+        wit[-1] = False
+        with pytest.raises(ValueError, match="transition bits"):
+            FactorizedFilter(iit=good.iit, wit=wit,
+                             weight_buffer=good.weight_buffer, filter_size=good.filter_size)
+
+    def test_weight_buffer_size_mismatch_rejected(self):
+        good = self.good()
+        with pytest.raises(ValueError, match="transition bits"):
+            FactorizedFilter(iit=good.iit, wit=good.wit,
+                             weight_buffer=good.weight_buffer[:-1],
+                             filter_size=good.filter_size)
+
+    def test_group_sizes_recovered(self):
+        good = self.good()
+        rebuilt = FactorizedFilter(
+            iit=good.iit, wit=good.wit,
+            weight_buffer=good.weight_buffer, filter_size=good.filter_size)
+        assert np.array_equal(rebuilt.group_sizes, good.group_sizes)
+
+    def test_empty_tables_valid(self):
+        empty = FactorizedFilter(
+            iit=np.zeros(0, dtype=np.int64), wit=np.zeros(0, dtype=bool),
+            weight_buffer=np.zeros(0, dtype=np.int64), filter_size=4)
+        assert empty.num_entries == 0
+        assert empty.num_multiplies == 0
+
+
+class TestCorruptedExecution:
+    def test_out_of_range_window_index_raises(self):
+        """A table pointing outside the tile must fail, not wrap."""
+        good = factorize_filter(np.array([1, 2, 1]))
+        bad = FactorizedFilter(
+            iit=np.array([0, 2, 5]),  # 5 is out of the 3-entry window...
+            wit=good.wit, weight_buffer=good.weight_buffer, filter_size=3)
+        with pytest.raises(IndexError):
+            bad.execute(np.array([1, 2, 3]))
+
+    def test_filter_size_guard(self):
+        good = factorize_filter(np.array([1, 2, 1]))
+        with pytest.raises(ValueError, match="window length"):
+            good.execute(np.array([1, 2, 3, 4]))

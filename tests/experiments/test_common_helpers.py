@@ -1,0 +1,61 @@
+"""Tests for experiment-shared helpers added alongside the runners."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    inq_weight_provider,
+    ucnn_config_for_group,
+)
+from repro.nn.tensor import ConvShape
+
+
+class TestUcnnConfigForGroup:
+    def test_g1_uses_large_u_row(self):
+        config = ucnn_config_for_group(1)
+        assert (config.group_size, config.vw) == (1, 8)
+        assert config.l1_input_bytes == 1920
+
+    def test_g2_uses_u17_row(self):
+        config = ucnn_config_for_group(2)
+        assert (config.group_size, config.vw) == (2, 4)
+        assert config.l1_input_bytes == 1152
+
+    def test_g4_uses_u3_row(self):
+        config = ucnn_config_for_group(4)
+        assert (config.group_size, config.vw) == (4, 2)
+        assert config.l1_input_bytes == 768
+
+    def test_throughput_preserved(self):
+        for g in (1, 2, 4):
+            config = ucnn_config_for_group(g)
+            assert config.dense_macs_per_cycle == 8
+            assert config.pe_cols * config.pe_rows == config.num_pes
+
+    def test_unknown_g(self):
+        with pytest.raises(ValueError, match="no Table II row"):
+            ucnn_config_for_group(3)
+
+
+class TestInqProvider:
+    def test_density_and_structure(self):
+        shape = ConvShape(name="x", w=6, h=6, c=16, k=8, r=3, s=3)
+        provider = inq_weight_provider(density=0.9)
+        weights = provider(shape)
+        assert weights.shape == shape.weight_shape
+        density = np.count_nonzero(weights) / weights.size
+        assert abs(density - 0.9) < 0.01
+        mags = np.unique(np.abs(weights[weights != 0]))
+        assert np.all((mags & (mags - 1)) == 0)
+
+    def test_deterministic_per_layer(self):
+        shape = ConvShape(name="x", w=6, h=6, c=4, k=4, r=3, s=3)
+        a = inq_weight_provider(density=0.9)(shape)
+        b = inq_weight_provider(density=0.9)(shape)
+        assert np.array_equal(a, b)
+
+    def test_tag_changes_weights(self):
+        shape = ConvShape(name="x", w=6, h=6, c=4, k=4, r=3, s=3)
+        a = inq_weight_provider(density=0.9, tag="a")(shape)
+        b = inq_weight_provider(density=0.9, tag="b")(shape)
+        assert not np.array_equal(a, b)

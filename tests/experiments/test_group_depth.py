@@ -1,0 +1,36 @@
+"""Tests for the group-reuse depth ablation (Section III-B claim)."""
+
+import pytest
+
+from repro.experiments import abl_group_depth
+
+
+class TestGroupDepth:
+    @pytest.fixture(scope="class")
+    def lenet_inq(self):
+        return abl_group_depth.run(network="lenet", num_unique=17, max_g=4)
+
+    def test_every_layer_reported(self, lenet_inq):
+        assert [p.layer for p in lenet_inq.points] == ["conv1", "conv2", "conv3"]
+
+    def test_pigeonhole_matches_rule(self, lenet_inq):
+        for p in lenet_inq.points:
+            g = p.pigeonhole_g
+            assert p.filter_size > 17**g or g == 1
+            assert p.filter_size <= 17 ** (g + 1) or g == 4
+
+    def test_big_filters_support_deeper_reuse(self, lenet_inq):
+        by_name = {p.layer: p for p in lenet_inq.points}
+        assert by_name["conv2"].max_useful_g >= by_name["conv1"].max_useful_g
+
+    def test_small_u_goes_deeper(self):
+        inq = abl_group_depth.run(network="lenet", num_unique=17, max_g=6)
+        ttq = abl_group_depth.run(network="lenet", num_unique=3, max_g=6)
+        assert ttq.majority_depth() >= inq.majority_depth()
+
+    def test_majority_depth(self, lenet_inq):
+        assert 1 <= lenet_inq.majority_depth() <= 4
+
+    def test_rows_format(self, lenet_inq):
+        rows = lenet_inq.format_rows()
+        assert len(rows) == 3 and len(rows[0]) == 4

@@ -1,0 +1,54 @@
+"""Integration: AlexNet forward pass with grouped convolutions.
+
+Exercises the full sequential stack — strided conv1, grouped conv2/4/5,
+ceil-mode pooling, flatten, three FC layers — with synthetic quantized
+weights, plus a grouped-layer factorized-vs-dense equivalence check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.factorized import FactorizedConv
+from repro.nn.layers import ConvLayer, FullyConnectedLayer
+from repro.nn.reference import conv2d_grouped
+from repro.nn.zoo import alexnet
+from repro.quant.distributions import uniform_unique_weights
+
+
+@pytest.fixture(scope="module")
+def weighted_alexnet():
+    rng = np.random.default_rng(11)
+    net = alexnet()
+    for layer in net.layers:
+        if isinstance(layer, ConvLayer):
+            layer.set_weights(
+                uniform_unique_weights(layer.shape.weight_shape, 17, 0.9, rng).values)
+        elif isinstance(layer, FullyConnectedLayer):
+            layer.set_weights(
+                uniform_unique_weights((layer.out_features, layer.in_features), 17, 0.9, rng).values)
+    return net
+
+
+def test_alexnet_forward_shape(weighted_alexnet):
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 8, size=(3, 227, 227))
+    out = weighted_alexnet.forward(x)
+    assert out.shape == (1000, 1, 1)
+
+
+def test_alexnet_intermediate_shapes(weighted_alexnet):
+    shapes = {s.name: s for s in weighted_alexnet.conv_shapes()}
+    assert shapes["conv1"].output_shape.as_tuple() == (96, 55, 55)
+    assert shapes["conv5"].output_shape.as_tuple() == (256, 13, 13)
+
+
+def test_grouped_conv_factorized_equivalence(rng):
+    """Each group of a grouped conv runs through the UCNN path exactly."""
+    weights = uniform_unique_weights((8, 4, 3, 3), 9, 0.8, rng).values
+    x = rng.integers(-8, 9, size=(8, 10, 10))  # 2 groups x 4 channels
+    dense = conv2d_grouped(x, weights, groups=2, padding=1)
+    halves = []
+    for g in range(2):
+        conv = FactorizedConv(weights[g * 4:(g + 1) * 4], group_size=2, padding=1)
+        halves.append(conv.forward(x[g * 4:(g + 1) * 4]))
+    assert np.array_equal(dense, np.concatenate(halves))

@@ -1,0 +1,53 @@
+"""Integration: FC layers simulated as 1x1 convolutions (Section IV-E).
+
+The paper executes fully connected layers as convolutions with input
+slide reuse disabled; our substrate exposes them as 1x1 conv geometries
+via ``Network.conv_shapes(include_fc=True)`` and the whole simulation
+stack must accept them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import dcnn_config, ucnn_config
+from repro.experiments.common import uniform_weight_provider
+from repro.nn.zoo import lenet_cifar10
+from repro.sim.runner import simulate_network
+
+
+@pytest.fixture(scope="module")
+def fc_shapes():
+    return lenet_cifar10().conv_shapes(include_fc=True)
+
+
+def test_fc_shapes_present(fc_shapes):
+    names = [s.name for s in fc_shapes]
+    assert names == ["conv1", "conv2", "conv3", "ip1", "ip2"]
+    ip1 = next(s for s in fc_shapes if s.name == "ip1")
+    assert (ip1.k, ip1.c, ip1.r, ip1.s) == (64, 1024, 1, 1)
+    assert (ip1.out_h, ip1.out_w) == (1, 1)
+
+
+def test_fc_layers_simulate_dense(fc_shapes):
+    result = simulate_network(fc_shapes, dcnn_config(16), weight_density=0.5)
+    ip2 = result.find("ip2")
+    assert ip2.events.multiplies == 10 * 64  # single output position
+    assert ip2.cycles >= 1
+
+
+def test_fc_layers_simulate_ucnn(fc_shapes):
+    result = simulate_network(
+        fc_shapes, ucnn_config(17, 16),
+        weight_provider=uniform_weight_provider(17, 0.5))
+    ip1 = result.find("ip1")
+    assert ip1.aggregate is not None
+    # Stored entries equal the union non-zero count of the FC matrix.
+    assert 0 < ip1.aggregate.entries <= 64 * 1024
+
+
+def test_fc_dominates_lenet_model_size(fc_shapes):
+    """LeNet's FC1 holds most parameters; including FC must grow the
+    model footprint accordingly."""
+    conv_only = simulate_network(fc_shapes[:3], dcnn_config(16), weight_density=0.5)
+    with_fc = simulate_network(fc_shapes, dcnn_config(16), weight_density=0.5)
+    assert with_fc.model_size.total_bits > 1.5 * conv_only.model_size.total_bits

@@ -1,0 +1,63 @@
+"""Tests for fixed-point helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.fixed_point import (
+    INT8,
+    INT16,
+    FixedPointFormat,
+    accumulation_bits,
+    num_unique,
+    quantize_activations,
+)
+
+
+class TestFormat:
+    def test_int8_range(self):
+        assert (INT8.min_int, INT8.max_int) == (-128, 127)
+
+    def test_int16_range(self):
+        assert (INT16.min_int, INT16.max_int) == (-32768, 32767)
+
+    def test_scale(self):
+        fmt = FixedPointFormat(8, frac_bits=4)
+        assert fmt.scale == pytest.approx(1 / 16)
+
+    def test_quantize_round_and_saturate(self):
+        fmt = FixedPointFormat(8)
+        raw = fmt.quantize(np.array([1.4, 1.6, 300.0, -300.0]))
+        assert list(raw) == [1, 2, 127, -128]
+
+    def test_round_trip(self):
+        fmt = FixedPointFormat(8, frac_bits=3)
+        values = np.array([0.5, -1.25, 2.0])
+        assert np.allclose(fmt.dequantize(fmt.quantize(values)), values)
+
+    def test_representable(self):
+        assert INT8.representable(np.array([-128, 127]))
+        assert not INT8.representable(np.array([128]))
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(8, frac_bits=8)
+
+
+class TestHelpers:
+    def test_quantize_activations_dtype(self):
+        raw = quantize_activations(np.array([0.1, 0.9]), INT8)
+        assert raw.dtype == np.int64
+
+    def test_num_unique(self):
+        assert num_unique(np.array([1, 1, 2, 0])) == 3
+
+    def test_accumulation_bits(self):
+        # 256 products of 8x8-bit operands: 16 + 8 = 24 bits.
+        assert accumulation_bits(8, 256) == 24
+        assert accumulation_bits(8, 1) == 16
+
+    def test_accumulation_bits_invalid(self):
+        with pytest.raises(ValueError):
+            accumulation_bits(8, 0)

@@ -1,0 +1,146 @@
+"""Tests for the dense reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.nn.reference import (
+    avgpool2d,
+    conv2d_grouped,
+    conv2d_im2col,
+    conv2d_naive,
+    fully_connected,
+    im2col,
+    maxpool2d,
+    pad_input,
+    relu,
+)
+
+
+class TestPadding:
+    def test_zero_padding_identity(self, rng):
+        x = rng.integers(0, 9, size=(2, 3, 3))
+        assert pad_input(x, 0) is x
+
+    def test_pad_shape(self):
+        assert pad_input(np.zeros((2, 3, 4)), 2).shape == (2, 7, 8)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            pad_input(np.zeros((1, 2, 2)), -1)
+
+
+class TestConvEquivalence:
+    def test_naive_equals_im2col(self, rng):
+        for __ in range(10):
+            c, k = int(rng.integers(1, 4)), int(rng.integers(1, 5))
+            r, s = int(rng.integers(1, 4)), int(rng.integers(1, 4))
+            h, w = int(rng.integers(s, s + 5)), int(rng.integers(r, r + 5))
+            stride = int(rng.integers(1, 3))
+            padding = int(rng.integers(0, 2))
+            x = rng.integers(-9, 10, size=(c, h, w))
+            weights = rng.integers(-4, 5, size=(k, c, r, s))
+            a = conv2d_naive(x, weights, stride, padding)
+            b = conv2d_im2col(x, weights, stride, padding)
+            assert np.array_equal(a, b)
+
+    def test_known_1x1(self):
+        x = np.array([[[1, 2], [3, 4]]])
+        weights = np.array([[[[2]]]])
+        assert np.array_equal(conv2d_im2col(x, weights), 2 * x)
+
+    def test_identity_kernel(self):
+        x = np.arange(9).reshape(1, 3, 3)
+        weights = np.zeros((1, 1, 3, 3), dtype=np.int64)
+        weights[0, 0, 1, 1] = 1  # center tap
+        out = conv2d_im2col(x, weights, padding=1)
+        assert np.array_equal(out, x)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError, match="channel mismatch"):
+            conv2d_im2col(np.zeros((2, 4, 4)), np.zeros((1, 3, 2, 2)))
+
+    def test_rs_orientation(self):
+        """R indexes width, S indexes height (Equation 1 convention)."""
+        x = np.zeros((1, 1, 3), dtype=np.int64)
+        x[0, 0] = [1, 2, 3]
+        weights = np.zeros((1, 1, 3, 1), dtype=np.int64)  # R=3 wide, S=1 tall
+        weights[0, 0] = [[1], [10], [100]]
+        out = conv2d_im2col(x, weights)
+        assert out.shape == (1, 1, 1)
+        assert out[0, 0, 0] == 1 * 1 + 2 * 10 + 3 * 100
+
+
+class TestIm2col:
+    def test_column_count(self):
+        cols = im2col(np.zeros((2, 5, 5), dtype=np.int64), 3, 3)
+        assert cols.shape == (18, 9)
+
+    def test_flattening_order_matches_weights(self, rng):
+        """im2col rows must follow the (c, r, s) weight flattening."""
+        c, r, s = 2, 3, 2
+        x = rng.integers(-9, 10, size=(c, 6, 6))
+        weights = rng.integers(-4, 5, size=(1, c, r, s))
+        cols = im2col(x, r, s)
+        flat = weights.reshape(1, -1)
+        assert np.array_equal((flat @ cols).reshape(1, 5, 4), conv2d_naive(x, weights))
+
+
+class TestGroupedConv:
+    def test_groups_match_split_convs(self, rng):
+        x = rng.integers(-5, 6, size=(4, 6, 6))
+        weights = rng.integers(-3, 4, size=(6, 2, 3, 3))
+        out = conv2d_grouped(x, weights, groups=2)
+        top = conv2d_im2col(x[:2], weights[:3])
+        bottom = conv2d_im2col(x[2:], weights[3:])
+        assert np.array_equal(out, np.concatenate([top, bottom]))
+
+    def test_groups_1_passthrough(self, rng):
+        x = rng.integers(-5, 6, size=(2, 5, 5))
+        weights = rng.integers(-3, 4, size=(3, 2, 3, 3))
+        assert np.array_equal(conv2d_grouped(x, weights, 1), conv2d_im2col(x, weights))
+
+    def test_bad_group_channels(self):
+        with pytest.raises(ValueError, match="grouped weights"):
+            conv2d_grouped(np.zeros((4, 5, 5)), np.zeros((2, 4, 3, 3)), groups=2)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.array([[[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12], [13, 14, 15, 16]]])
+        out = maxpool2d(x, 2, 2)
+        assert np.array_equal(out, [[[6, 8], [14, 16]]])
+
+    def test_maxpool_ceil_mode(self):
+        """Caffe ceil mode: 32 -> 16 under 3x3/2 pooling."""
+        out = maxpool2d(np.zeros((1, 32, 32), dtype=np.int64), 3, 2)
+        assert out.shape == (1, 16, 16)
+
+    def test_avgpool_integer_floor(self):
+        x = np.array([[[1, 2], [3, 5]]])
+        out = avgpool2d(x, 2, 2)
+        assert out[0, 0, 0] == 11 // 4
+
+    def test_avgpool_partial_window(self):
+        x = np.ones((1, 3, 3), dtype=np.int64)
+        out = avgpool2d(x, 2, 2)
+        assert out.shape == (1, 2, 2)
+        assert out[0, 1, 1] == 1  # 1-element window
+
+
+class TestOther:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-2, 0, 3])), [0, 0, 3])
+
+    def test_fully_connected(self, rng):
+        x = rng.integers(-5, 6, size=12)
+        weights = rng.integers(-3, 4, size=(4, 12))
+        assert np.array_equal(fully_connected(x, weights), weights.astype(np.int64) @ x)
+
+    def test_fully_connected_flattens(self, rng):
+        x = rng.integers(-5, 6, size=(3, 2, 2))
+        weights = rng.integers(-3, 4, size=(4, 12))
+        assert np.array_equal(fully_connected(x, weights), weights.astype(np.int64) @ x.reshape(-1))
+
+    def test_fc_shape_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            fully_connected(np.zeros(5), np.zeros((2, 4)))

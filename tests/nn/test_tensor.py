@@ -1,0 +1,92 @@
+"""Tests for shape records and shape arithmetic."""
+
+import pytest
+
+from repro.nn.tensor import ConvShape, TensorShape, conv_output_hw
+
+
+class TestConvOutputHw:
+    def test_unit_stride_no_padding(self):
+        assert conv_output_hw(10, 10, 3, 3) == (8, 8)
+
+    def test_padding(self):
+        assert conv_output_hw(10, 10, 3, 3, padding=1) == (10, 10)
+
+    def test_stride(self):
+        assert conv_output_hw(11, 11, 3, 3, stride=2) == (5, 5)
+
+    def test_alexnet_conv1(self):
+        assert conv_output_hw(227, 227, 11, 11, stride=4) == (55, 55)
+
+    def test_resnet_conv1(self):
+        assert conv_output_hw(224, 224, 7, 7, stride=2, padding=3) == (112, 112)
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            conv_output_hw(2, 2, 5, 5)
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError, match="stride"):
+            conv_output_hw(4, 4, 2, 2, stride=0)
+
+    def test_bad_padding(self):
+        with pytest.raises(ValueError, match="padding"):
+            conv_output_hw(4, 4, 2, 2, padding=-1)
+
+
+class TestTensorShape:
+    def test_size(self):
+        assert TensorShape(3, 4, 5).size == 60
+
+    def test_as_tuple(self):
+        assert TensorShape(1, 2, 3).as_tuple() == (1, 2, 3)
+
+    def test_positive_dims(self):
+        with pytest.raises(ValueError):
+            TensorShape(0, 1, 1)
+
+
+class TestConvShape:
+    def make(self, **kw):
+        defaults = dict(name="t", w=8, h=8, c=4, k=6, r=3, s=3)
+        defaults.update(kw)
+        return ConvShape(**defaults)
+
+    def test_output_dims(self):
+        shape = self.make(padding=1)
+        assert (shape.out_h, shape.out_w) == (8, 8)
+
+    def test_filter_size(self):
+        assert self.make().filter_size == 36
+
+    def test_num_weights(self):
+        assert self.make().num_weights == 216
+
+    def test_macs(self):
+        shape = self.make()
+        assert shape.macs == shape.num_outputs * shape.filter_size
+
+    def test_weight_shape(self):
+        assert self.make().weight_shape == (6, 4, 3, 3)
+
+    def test_grouped_input_channels(self):
+        shape = self.make(groups=2, k=6)
+        assert shape.input_shape.c == 8  # c per filter * groups
+
+    def test_groups_must_divide_k(self):
+        with pytest.raises(ValueError, match="divisible"):
+            self.make(groups=4, k=6)
+
+    def test_index_bits(self):
+        shape = self.make()
+        assert shape.index_bits() == 6  # ceil(log2(36))
+        assert shape.index_bits(channel_tile=2) == 5  # ceil(log2(18))
+
+    def test_with_input(self):
+        shape = self.make().with_input(16, 16)
+        assert (shape.h, shape.w) == (16, 16)
+        assert shape.k == 6
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            self.make().k = 10

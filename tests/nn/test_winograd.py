@@ -1,0 +1,81 @@
+"""Tests for the Winograd F(2x2, 3x3) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.nn.reference import conv2d_im2col
+from repro.nn.winograd import (
+    winograd_conv2d_3x3,
+    winograd_multiply_counts,
+    winograd_transform_filter,
+)
+
+
+class TestTransforms:
+    def test_identity_kernel_transform(self):
+        kernel = np.zeros((3, 3))
+        kernel[1, 1] = 1.0
+        u = winograd_transform_filter(kernel)
+        assert u.shape == (4, 4)
+        # Center-tap kernel: transform is G[:,1] outer G[:,1].
+        g_col = np.array([0, 0.5, -0.5, 0])
+        assert np.allclose(u, np.outer(g_col, g_col))
+
+    def test_kernel_shape_checked(self):
+        with pytest.raises(ValueError, match="3x3"):
+            winograd_transform_filter(np.zeros((2, 2)))
+
+
+class TestConvolution:
+    def test_matches_reference(self, rng):
+        inputs = rng.integers(-8, 9, size=(3, 10, 10))
+        weights = rng.integers(-3, 4, size=(4, 3, 3, 3))
+        out = winograd_conv2d_3x3(inputs, weights)
+        ref = conv2d_im2col(inputs, weights)
+        assert out.shape == ref.shape
+        assert np.allclose(out, ref)
+
+    def test_single_channel(self, rng):
+        inputs = rng.integers(-8, 9, size=(1, 6, 6))
+        weights = rng.integers(-3, 4, size=(1, 1, 3, 3))
+        assert np.allclose(winograd_conv2d_3x3(inputs, weights),
+                           conv2d_im2col(inputs, weights))
+
+    def test_float_weights(self, rng):
+        inputs = rng.normal(size=(2, 8, 8))
+        weights = rng.normal(size=(3, 2, 3, 3))
+        assert np.allclose(winograd_conv2d_3x3(inputs, weights),
+                           conv2d_im2col(inputs, weights))
+
+    def test_odd_output_rejected(self, rng):
+        inputs = rng.integers(0, 5, size=(1, 7, 7))  # 5x5 output: odd
+        weights = rng.integers(0, 3, size=(1, 1, 3, 3))
+        with pytest.raises(ValueError, match="even"):
+            winograd_conv2d_3x3(inputs, weights)
+
+    def test_non_3x3_rejected(self):
+        with pytest.raises(ValueError, match="3x3"):
+            winograd_conv2d_3x3(np.zeros((1, 8, 8)), np.zeros((1, 1, 5, 5)))
+
+
+class TestCounts:
+    def test_fixed_2_25x(self):
+        counts = winograd_multiply_counts(k=8, c=16, out_h=14, out_w=14)
+        assert counts.savings == pytest.approx(2.25)
+
+    def test_savings_independent_of_k_c(self):
+        a = winograd_multiply_counts(1, 1, 8, 8)
+        b = winograd_multiply_counts(64, 256, 8, 8)
+        assert a.savings == pytest.approx(b.savings)
+
+    def test_ucnn_beats_winograd_when_u_small(self, rng):
+        """Section VII's contrast: UCNN savings scale with repetition,
+        Winograd's are fixed at 2.25x."""
+        from repro.core.factorized import FactorizedConv
+        from repro.quant.distributions import uniform_unique_weights
+
+        weights = uniform_unique_weights((8, 64, 3, 3), 3, 0.9, rng).values
+        conv = FactorizedConv(weights, group_size=1)
+        ucnn = conv.op_counts(out_positions=196).multiply_savings
+        wino = winograd_multiply_counts(8, 64, 14, 14).savings
+        assert ucnn > wino * 3  # TTQ-like U=3: far past 2.25x

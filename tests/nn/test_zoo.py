@@ -1,0 +1,137 @@
+"""Tests for the network zoo (paper Section VI-A networks)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import ConvLayer
+from repro.nn.zoo import (
+    alexnet,
+    get_network,
+    lenet_cifar10,
+    paper_figure3_layers,
+    resnet50,
+)
+
+
+class TestLeNet:
+    def test_layer_names(self):
+        net = lenet_cifar10()
+        names = [s.name for s in net.conv_shapes()]
+        assert names == ["conv1", "conv2", "conv3"]
+
+    def test_shapes(self):
+        net = lenet_cifar10()
+        shapes = {s.name: s for s in net.conv_shapes()}
+        assert (shapes["conv1"].c, shapes["conv1"].k) == (3, 32)
+        assert (shapes["conv3"].c, shapes["conv3"].k) == (32, 64)
+        assert shapes["conv2"].out_h == 16
+
+    def test_output_shape(self):
+        assert lenet_cifar10().output_shape.as_tuple() == (10, 1, 1)
+
+    def test_fc_dims(self):
+        net = lenet_cifar10()
+        ip1 = net.find("ip1")
+        assert (ip1.out_features, ip1.in_features) == (64, 1024)
+
+    def test_forward_with_weights(self, rng):
+        net = lenet_cifar10()
+        for layer in net.layers:
+            if hasattr(layer, "set_weights"):
+                if isinstance(layer, ConvLayer):
+                    layer.set_weights(rng.integers(-2, 3, size=layer.shape.weight_shape))
+                else:
+                    layer.set_weights(rng.integers(-2, 3, size=(layer.out_features, layer.in_features)))
+        out = net.forward(rng.integers(0, 4, size=(3, 32, 32)))
+        assert out.shape == (10, 1, 1)
+
+
+class TestAlexNet:
+    def test_conv_count(self):
+        assert len(alexnet().conv_shapes()) == 5
+
+    def test_conv1_geometry(self):
+        conv1 = alexnet().conv_shapes()[0]
+        assert (conv1.r, conv1.stride, conv1.out_w) == (11, 4, 55)
+
+    def test_grouped_layers(self):
+        shapes = {s.name: s for s in alexnet().conv_shapes()}
+        assert shapes["conv2"].groups == 2 and shapes["conv2"].c == 48
+        assert shapes["conv4"].groups == 2 and shapes["conv4"].c == 192
+        assert shapes["conv3"].groups == 1 and shapes["conv3"].c == 256
+
+    def test_parameter_count(self):
+        """BVLC AlexNet has ~60.9M weights (conv+fc, no biases)."""
+        total = alexnet().num_parameters()
+        assert 59e6 < total < 62e6
+
+    def test_fc6_input(self):
+        fc6 = alexnet().find("fc6")
+        assert fc6.in_features == 256 * 6 * 6
+
+
+class TestResNet50:
+    def test_conv_count(self):
+        # conv1 + 16 blocks x 3 + 4 projections = 53 conv layers.
+        assert len(resnet50().conv_shapes()) == 53
+
+    def test_parameter_count(self):
+        """ResNet-50 has ~25.5M parameters (conv + fc)."""
+        total = resnet50().num_parameters()
+        assert 25.0e6 < total < 25.8e6
+
+    def test_module_dims(self):
+        shapes = {s.name: s for s in resnet50().conv_shapes()}
+        assert shapes["M1B1L1"].c == 64
+        assert shapes["M4B1L3"].k == 2048
+        assert shapes["M4B2L2"].out_h == 7
+        assert shapes["M2B1L1"].stride == 2
+
+    def test_figure3_layer_names_exist(self):
+        net = resnet50()
+        names = {s.name for s in net.conv_shapes()}
+        for wanted in paper_figure3_layers(net):
+            assert wanted in names
+
+    def test_output_shape(self):
+        assert resnet50().output_shape.as_tuple() == (1000, 1, 1)
+
+    def test_block_forward_residual(self, rng):
+        """A bottleneck block's forward must include the shortcut."""
+        net = resnet50()
+        block = net.layers[3]  # M1B1
+        for conv in block.conv_sublayers():
+            conv.set_weights(np.zeros(conv.shape.weight_shape, dtype=np.int64))
+        x = rng.integers(0, 5, size=(64, 56, 56))
+        out = block.forward(x)
+        # All-zero weights (incl. projection): output is relu(0 + 0) = 0.
+        assert np.all(out == 0)
+
+    def test_identity_block_passes_shortcut(self, rng):
+        net = resnet50()
+        block = net.layers[4]  # M1B2: no projection
+        assert block.projection is None
+        for conv in block.conv_sublayers():
+            conv.set_weights(np.zeros(conv.shape.weight_shape, dtype=np.int64))
+        x = rng.integers(0, 5, size=(256, 56, 56))
+        assert np.array_equal(block.forward(x), np.maximum(x, 0))
+
+    def test_total_macs_scale(self):
+        """ResNet-50 is ~3.8 GMACs at 224x224 (conv + fc)."""
+        macs = resnet50().total_macs()
+        assert 3.0e9 < macs < 4.5e9
+
+
+class TestRegistry:
+    def test_get_network(self):
+        assert get_network("lenet").name == "lenet"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            get_network("vgg")
+
+    def test_figure3_lists(self):
+        assert paper_figure3_layers(lenet_cifar10()) == ["conv1", "conv2", "conv3"]
+        assert len(paper_figure3_layers(resnet50())) == 12
+        with pytest.raises(ValueError):
+            paper_figure3_layers(get_network("lenet").__class__("x", None, []))

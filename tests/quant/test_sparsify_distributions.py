@@ -1,0 +1,149 @@
+"""Tests for sparsification, synthetic generators, and weight stats."""
+
+import numpy as np
+import pytest
+
+from repro.quant.distributions import (
+    gaussian_weights,
+    inq_like_weights,
+    nonzero_value_palette,
+    uniform_unique_weights,
+)
+from repro.quant.sparsify import prune_to_density, random_prune
+from repro.quant.stats import (
+    average_nonzero_repetition,
+    filter_value_histogram,
+    per_filter_unique_counts,
+    unique_weights,
+    weight_density,
+    zero_repetition,
+)
+
+
+class TestPruning:
+    def test_exact_density(self, rng):
+        values = rng.integers(1, 10, size=1000)
+        pruned = random_prune(values, 0.65, rng)
+        assert np.count_nonzero(pruned) == 650
+
+    def test_magnitude_keeps_largest(self, rng):
+        values = np.arange(1, 101)
+        pruned = prune_to_density(values, 0.5, rng)
+        assert np.count_nonzero(pruned) == 50
+        assert np.all(pruned[50:] == values[50:])
+        assert np.all(pruned[:50] == 0)
+
+    def test_magnitude_ties_broken(self, rng):
+        values = np.full(100, 7)
+        pruned = prune_to_density(values, 0.3, rng)
+        assert np.count_nonzero(pruned) == 30
+
+    def test_shape_preserved(self, rng):
+        values = rng.integers(1, 5, size=(4, 5, 6))
+        assert random_prune(values, 0.5, rng).shape == (4, 5, 6)
+
+    def test_bad_density(self, rng):
+        with pytest.raises(ValueError, match="density"):
+            random_prune(np.ones(10), 1.5, rng)
+
+    def test_survivors_unchanged(self, rng):
+        values = rng.integers(-9, 10, size=500)
+        pruned = random_prune(values, 0.7, rng)
+        mask = pruned != 0
+        assert np.all(pruned[mask] == values[mask])
+
+
+class TestPalette:
+    def test_count_and_distinct(self):
+        for u in (2, 3, 17, 64, 256, 300):
+            palette = nonzero_value_palette(u)
+            assert palette.size == u - 1
+            assert np.unique(palette).size == u - 1
+            assert 0 not in palette
+
+    def test_symmetricish(self):
+        palette = nonzero_value_palette(17)
+        assert (palette > 0).sum() >= (palette < 0).sum()
+
+    def test_minimum(self):
+        with pytest.raises(ValueError):
+            nonzero_value_palette(1)
+
+
+class TestUniformUniqueWeights:
+    def test_u_and_density(self, rng):
+        q = uniform_unique_weights((8, 4, 3, 3), 17, 0.65, rng)
+        assert q.num_unique <= 17
+        assert q.density == pytest.approx(0.65, abs=0.01)
+
+    def test_full_density_no_zero(self, rng):
+        q = uniform_unique_weights((1000,), 9, 1.0, rng)
+        assert q.density == 1.0
+
+    def test_values_from_palette(self, rng):
+        q = uniform_unique_weights((2000,), 5, 0.9, rng)
+        palette = set(nonzero_value_palette(5)) | {0}
+        assert set(np.unique(q.values)).issubset(palette)
+
+    def test_reproducible(self):
+        a = uniform_unique_weights((100,), 17, 0.5, np.random.default_rng(7))
+        b = uniform_unique_weights((100,), 17, 0.5, np.random.default_rng(7))
+        assert np.array_equal(a.values, b.values)
+
+
+class TestInqLikeWeights:
+    def test_density_hit_exactly(self, rng):
+        q = inq_like_weights((16, 8, 3, 3), density=0.9, rng=rng)
+        assert q.density == pytest.approx(0.9, abs=0.005)
+
+    def test_u17_structure(self, rng):
+        q = inq_like_weights((32, 16, 3, 3), density=0.9, rng=rng)
+        assert q.num_unique <= 17
+        mags = np.unique(np.abs(q.values[q.values != 0]))
+        assert np.all((mags & (mags - 1)) == 0)
+
+    def test_natural_density_mode(self, rng):
+        q = inq_like_weights((2000,), density=None, rng=rng)
+        assert 0.0 < q.density <= 1.0
+
+    def test_density_promotion(self, rng):
+        """Requesting a density above INQ's natural rate promotes zeros."""
+        q = inq_like_weights((5000,), density=0.99, rng=rng)
+        assert q.density == pytest.approx(0.99, abs=0.005)
+
+
+class TestGaussian:
+    def test_shape_and_scale(self, rng):
+        w = gaussian_weights((1000,), std=0.05, rng=rng)
+        assert w.shape == (1000,)
+        assert abs(float(np.std(w)) - 0.05) < 0.01
+
+
+class TestStats:
+    def test_unique_weights(self):
+        assert list(unique_weights(np.array([3, 1, 3]))) == [1, 3]
+
+    def test_weight_density(self):
+        assert weight_density(np.array([0, 1, 0, 2])) == 0.5
+
+    def test_density_empty_raises(self):
+        with pytest.raises(ValueError):
+            weight_density(np.array([]))
+
+    def test_per_filter_unique_counts(self):
+        weights = np.array([[[1, 1], [2, 0]], [[3, 3], [3, 3]]])
+        assert list(per_filter_unique_counts(weights)) == [3, 1]
+
+    def test_histogram_is_group_sizes(self):
+        hist = filter_value_histogram(np.array([2, 2, -1, 0]))
+        assert hist == {2: 2, -1: 1, 0: 1}
+
+    def test_average_nonzero_repetition(self):
+        filt = np.array([5, 5, 5, -3, 0, 0])
+        assert average_nonzero_repetition(filt) == pytest.approx(2.0)
+
+    def test_zero_repetition(self):
+        assert zero_repetition(np.array([0, 1, 0])) == 2
+
+    def test_all_zero_filter(self):
+        assert average_nonzero_repetition(np.zeros(5)) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the step-by-step lane simulators."""
+
+import numpy as np
+import pytest
+
+from repro.core.activation_groups import canonical_weight_order
+from repro.core.hierarchical import build_filter_group_tables
+from repro.sim.functional import DcnnLaneSimulator, UcnnLaneSimulator
+
+
+class TestUcnnLane:
+    def test_outputs_bit_exact(self, rng):
+        for __ in range(15):
+            g = int(rng.integers(1, 4))
+            n = int(rng.integers(1, 40))
+            filters = rng.integers(-3, 4, size=(g, n))
+            window = rng.integers(-9, 10, size=n)
+            lane = UcnnLaneSimulator(build_filter_group_tables(filters))
+            trace = lane.run(window)
+            assert np.array_equal(trace.outputs, filters @ window)
+
+    def test_cycles_match_stats(self, rng):
+        """The stepped walk must agree with the closed-form stats."""
+        for __ in range(15):
+            g = int(rng.integers(1, 4))
+            n = int(rng.integers(1, 50))
+            filters = rng.integers(-2, 3, size=(g, n))
+            canonical = canonical_weight_order(np.arange(-4, 5))
+            tables = build_filter_group_tables(filters, canonical=canonical)
+            lane = UcnnLaneSimulator(tables)
+            trace = lane.run(rng.integers(-9, 10, size=n))
+            st = tables.stats()
+            assert trace.cycles == st.cycles
+            assert trace.entry_cycles == st.num_entries
+            assert trace.bubble_cycles == st.skip_bubbles
+            assert trace.stall_cycles == st.mult_stalls
+            assert trace.multiplies == st.multiplies
+
+    def test_chunked_outputs(self, rng):
+        filters = np.full((2, 40), 3, dtype=np.int64)
+        window = rng.integers(-9, 10, size=40)
+        tables = build_filter_group_tables(filters, max_group_size=7)
+        trace = UcnnLaneSimulator(tables).run(window)
+        assert np.array_equal(trace.outputs, filters @ window)
+        assert trace.multiplies > 2  # early MACs from chunking
+
+    def test_multiplier_count_configurable(self, rng):
+        filters = rng.integers(1, 3, size=(2, 20))  # dense non-zero: stalls
+        tables = build_filter_group_tables(filters)
+        one = UcnnLaneSimulator(tables, num_multipliers=1).run(np.ones(20, dtype=np.int64))
+        two = UcnnLaneSimulator(tables, num_multipliers=2).run(np.ones(20, dtype=np.int64))
+        assert one.cycles >= two.cycles
+
+    def test_window_length_checked(self):
+        tables = build_filter_group_tables(np.array([[1, 2]]))
+        with pytest.raises(ValueError, match="window length"):
+            UcnnLaneSimulator(tables).run(np.arange(5))
+
+
+class TestDcnnLane:
+    def test_outputs_and_cycles(self, rng):
+        filters = rng.integers(-3, 4, size=(4, 25))
+        window = rng.integers(-9, 10, size=25)
+        trace = DcnnLaneSimulator(filters).run(window)
+        assert np.array_equal(trace.outputs, filters @ window)
+        assert trace.cycles == 25
+        assert trace.multiplies == 4 * 25
+
+    def test_sparsity_gates_multiplies_not_cycles(self, rng):
+        filters = rng.integers(-1, 2, size=(2, 30))
+        filters[:, ::2] = 0
+        window = rng.integers(-9, 10, size=30)
+        dense = DcnnLaneSimulator(filters, skip_zero_operands=False).run(window)
+        gated = DcnnLaneSimulator(filters, skip_zero_operands=True).run(window)
+        assert np.array_equal(dense.outputs, gated.outputs)
+        assert gated.cycles == dense.cycles
+        assert gated.multiplies < dense.multiplies
+
+    def test_zero_activations_gated(self):
+        filters = np.ones((1, 4), dtype=np.int64)
+        window = np.array([0, 5, 0, 5])
+        gated = DcnnLaneSimulator(filters, skip_zero_operands=True).run(window)
+        assert gated.multiplies == 2
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError, match="VK"):
+            DcnnLaneSimulator(np.arange(4))

@@ -1,0 +1,105 @@
+"""Tests for network-level simulation."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import dcnn_config, dcnn_sp_config, paper_configs, ucnn_config
+from repro.nn.tensor import ConvShape
+from repro.quant.distributions import uniform_unique_weights
+from repro.sim.events import EventCounts
+from repro.sim.runner import run_layer, simulate_network
+
+
+def shapes_small():
+    return [
+        ConvShape(name="a", w=8, h=8, c=3, k=8, r=3, s=3, padding=1),
+        ConvShape(name="b", w=8, h=8, c=8, k=8, r=3, s=3, padding=1),
+    ]
+
+
+def provider_for(u, density=0.5):
+    def provider(shape):
+        rng = np.random.default_rng(hash(shape.name) % (2**31))
+        return uniform_unique_weights(shape.weight_shape, u, density, rng).values
+    return provider
+
+
+class TestEventCounts:
+    def test_addition(self):
+        a = EventCounts(cycles=1, multiplies=2)
+        b = EventCounts(cycles=3, multiplies=4, adds_acc=5)
+        c = a + b
+        assert (c.cycles, c.multiplies, c.adds_acc) == (4, 6, 5)
+
+    def test_scaled(self):
+        assert EventCounts(cycles=3).scaled(4).cycles == 12
+
+    def test_as_dict(self):
+        d = EventCounts(cycles=1).as_dict()
+        assert d["cycles"] == 1 and "psum_accesses" in d
+
+
+class TestRunLayer:
+    def test_dense_layer_result(self):
+        result = run_layer(shapes_small()[0], dcnn_config(16), weight_density=0.5)
+        assert result.energy.total_pj > 0
+        assert result.aggregate is None
+        assert result.weight_model.total_bits == shapes_small()[0].num_weights * 16
+
+    def test_ucnn_layer_result(self):
+        shape = shapes_small()[0]
+        result = run_layer(shape, ucnn_config(17, 16), weights=provider_for(17)(shape))
+        assert result.aggregate is not None
+        assert result.weight_model.total_bits < shape.num_weights * 16
+
+    def test_dcnn_sp_density_from_weights(self):
+        shape = shapes_small()[0]
+        weights = provider_for(17, density=0.5)(shape)
+        result = run_layer(shape, dcnn_sp_config(16), weights=weights)
+        nonzero = int(np.count_nonzero(weights))
+        assert result.weight_model.total_bits == nonzero * (16 + 5)
+
+    def test_dcnn_sp_without_info_raises(self):
+        with pytest.raises(ValueError, match="weights or weight_density"):
+            run_layer(shapes_small()[0], dcnn_sp_config(16))
+
+
+class TestSimulateNetwork:
+    def test_totals_are_sums(self):
+        results = simulate_network(shapes_small(), dcnn_config(16), weight_density=0.5)
+        assert results.cycles == sum(l.cycles for l in results.layers)
+        assert results.energy.total_pj == pytest.approx(
+            sum(l.energy.total_pj for l in results.layers))
+
+    def test_first_layer_flag(self):
+        results = simulate_network(shapes_small(), dcnn_config(16), weight_density=0.5)
+        assert results.layers[0].dram.input_bits > 0
+        assert results.layers[1].dram.input_bits == 0
+
+    def test_find(self):
+        results = simulate_network(shapes_small(), dcnn_config(16), weight_density=0.5)
+        assert results.find("b").name == "b"
+        with pytest.raises(KeyError):
+            results.find("zzz")
+
+    def test_model_size_aggregated(self):
+        results = simulate_network(
+            shapes_small(), ucnn_config(17, 16), weight_provider=provider_for(17))
+        total_dense = sum(s.num_weights for s in shapes_small())
+        assert results.model_size.dense_weights == total_dense
+
+    def test_all_paper_configs_run(self):
+        for cfg in paper_configs(16):
+            u = cfg.num_unique or 64
+            results = simulate_network(
+                shapes_small(), cfg, weight_provider=provider_for(u), weight_density=0.5)
+            assert results.energy.total_pj > 0
+            assert results.cycles > 0
+
+    def test_ucnn_beats_dense_on_energy(self):
+        """The headline direction on a tiny network at 50% density."""
+        dense = simulate_network(shapes_small(), dcnn_config(16),
+                                 weight_provider=provider_for(3), weight_density=0.5)
+        ucnn = simulate_network(shapes_small(), ucnn_config(3, 16),
+                                weight_provider=provider_for(3), weight_density=0.5)
+        assert ucnn.energy.total_pj < dense.energy.total_pj

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DESIGNS, build_parser, main
+
+
+class TestParser:
+    def test_networks_command(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet" in out and "resnet50" in out
+
+    def test_simulate_lenet(self, capsys):
+        assert main(["simulate", "--network", "lenet", "--design", "ucnn-u3",
+                     "--density", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "total energy" in out
+        assert "bits/weight" in out
+
+    def test_simulate_dense(self, capsys):
+        assert main(["simulate", "--network", "lenet", "--design", "dcnn-sp"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_factorize(self, capsys):
+        assert main(["factorize", "--k", "4", "--c", "8", "--u", "5", "--g", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "multiply savings" in out
+
+    def test_experiment_tab02(self, capsys):
+        assert main(["experiment", "tab02"]) == 0
+        assert "UCNN U17" in capsys.readouterr().out
+
+    def test_experiment_fig03_scoped(self, capsys):
+        assert main(["experiment", "fig03", "--network", "lenet"]) == 0
+        assert "conv1" in capsys.readouterr().out
+
+    def test_experiment_fig13_scoped(self, capsys):
+        assert main(["experiment", "fig13", "--network", "lenet"]) == 0
+        assert "UCNN G2" in capsys.readouterr().out
+
+    def test_experiment_tab03(self, capsys):
+        assert main(["experiment", "tab03"]) == 0
+        assert "arithmetic" in capsys.readouterr().out
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--design", "tpu"])
+
+    def test_all_designs_resolvable(self):
+        for name, factory in DESIGNS.items():
+            config = factory(16)
+            assert config.weight_bits == 16
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
