@@ -4,10 +4,15 @@ These exercise the hot paths the experiments lean on — table
 construction, table execution, the analytic layer aggregate, and the
 dense reference — with real pytest-benchmark statistics (multiple
 rounds), complementing the run-once experiment benches.
+
+Under ``REPRO_BENCH_SMOKE=1`` the layer shrinks so nightly CI can emit a
+``--benchmark-json`` artifact in seconds; the JSON still covers every
+kernel, just at reduced scale (the artifact name records which).
 """
 
 import numpy as np
 import pytest
+from conftest import smoke_mode
 
 from repro.arch.config import ucnn_config
 from repro.core.factorized import FactorizedConv
@@ -19,7 +24,11 @@ from repro.quant.distributions import uniform_unique_weights
 from repro.sim.analytic import ucnn_layer_aggregate
 
 RNG = np.random.default_rng(2024)
-SHAPE = ConvShape(name="bench", w=16, h=16, c=64, k=32, r=3, s=3, padding=1)
+SHAPE = (
+    ConvShape(name="bench-smoke", w=8, h=8, c=16, k=8, r=3, s=3, padding=1)
+    if smoke_mode()
+    else ConvShape(name="bench", w=16, h=16, c=64, k=32, r=3, s=3, padding=1)
+)
 
 
 @pytest.fixture(scope="module")

@@ -4,17 +4,45 @@ Every bench regenerates one table/figure of the paper: it runs the
 experiment once under pytest-benchmark timing, prints the rows (visible
 with ``-s``), and persists them under ``benchmarks/results/`` so the
 artifacts survive output capture.
+
+The experiment runners submit their design points through
+:mod:`repro.runtime`; the harness configures that runtime from the
+environment so CI can scale the benches without touching code:
+
+* ``REPRO_BENCH_WORKERS=N`` — fan design points across N processes;
+* ``REPRO_BENCH_CACHE=1`` — enable the on-disk result cache (honours
+  ``REPRO_CACHE_DIR``), making repeated bench invocations incremental;
+* ``REPRO_BENCH_SMOKE=1`` — shrink the kernel micro-benches to smoke
+  scale (nightly CI uses this to track the perf trajectory cheaply).
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.common import dump_json, format_table
+from repro.runtime import ResultCache, Runtime, set_runtime
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def smoke_mode() -> bool:
+    """Whether the benches should run at reduced smoke scale."""
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_runtime():
+    """Install the env-configured experiment runtime for the whole run."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+    cache = ResultCache() if os.environ.get("REPRO_BENCH_CACHE") else None
+    runtime = Runtime(workers=workers, cache=cache)
+    previous = set_runtime(runtime)
+    yield runtime
+    set_runtime(previous)
 
 
 @pytest.fixture

@@ -7,6 +7,9 @@ Commands:
   energy/cycle/model-size summary (Figure 9 methodology);
 * ``experiment`` — run a named experiment (fig03..fig14, tab02, tab03,
   ablations) and print its rows;
+* ``sweep`` — run an experiment through the parallel runtime with the
+  on-disk result cache (re-runs are incremental);
+* ``cache`` — inspect or clear the design-point result cache;
 * ``factorize`` — factorize a random quantized layer and report table
   statistics (a quick feel for the mechanism).
 
@@ -15,14 +18,18 @@ Examples::
     python -m repro.cli networks
     python -m repro.cli simulate --network lenet --design ucnn-u17 --density 0.5
     python -m repro.cli experiment fig13 --network lenet
+    python -m repro.cli sweep --experiment fig11 --workers 4
+    python -m repro.cli cache info
     python -m repro.cli factorize --u 17 --density 0.9 --c 64
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.arch.config import HardwareConfig, dcnn_config, dcnn_sp_config, ucnn_config
 from repro.experiments.common import (
@@ -43,10 +50,76 @@ DESIGNS = {
     "ucnn-u256": lambda bits: ucnn_config(256, bits),
 }
 
-EXPERIMENTS = (
-    "fig03", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "tab02", "tab03", "abl-l2", "abl-chunk", "abl-pp",
-)
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """How the CLI runs and prints one named experiment.
+
+    Attributes:
+        module: dotted path of the runner module (exposes ``run()``).
+        headers: table headers matching ``Result.format_rows()``.
+        network_kw: name of the runner kwarg that scopes it to one
+            network (``"networks"`` takes a tuple, ``"network"`` a
+            string, ``None`` means not scopeable).
+    """
+
+    module: str
+    headers: tuple[str, ...]
+    network_kw: str | None = None
+
+
+EXPERIMENT_SPECS: dict[str, ExperimentSpec] = {
+    "fig03": ExperimentSpec(
+        "repro.experiments.fig03_repetition",
+        ("network", "layer", "filter size", "nz mean", "nz std", "zero mean", "zero std"),
+        network_kw="networks"),
+    "fig09": ExperimentSpec(
+        "repro.experiments.fig09_energy",
+        ("network", "bits", "density", "design", "dram", "l2", "pe", "total"),
+        network_kw="networks"),
+    "fig10": ExperimentSpec(
+        "repro.experiments.fig10_layer_energy",
+        ("layer", "design", "dram", "l2", "pe", "total")),
+    "fig11": ExperimentSpec(
+        "repro.experiments.fig11_runtime",
+        ("design", "density", "normalized runtime")),
+    "fig12": ExperimentSpec(
+        "repro.experiments.fig12_inq_perf",
+        ("network", "design", "cycles", "speedup"),
+        network_kw="networks"),
+    "fig13": ExperimentSpec(
+        "repro.experiments.fig13_model_size",
+        ("scheme", "density", "bits/weight"),
+        network_kw="network"),
+    "fig14": ExperimentSpec(
+        "repro.experiments.fig14_jump_tables",
+        ("G", "jump bits", "bits/weight", "overhead"),
+        network_kw="network"),
+    "tab02": ExperimentSpec(
+        "repro.experiments.tab02_configs",
+        ("design", "P", "VK", "VW", "G", "L1 in", "L1 wt", "work", "Ct")),
+    "tab03": ExperimentSpec(
+        "repro.experiments.tab03_area",
+        ("component", "DCNN model", "DCNN paper", "UCNN model", "UCNN paper")),
+    "abl-l2": ExperimentSpec(
+        "repro.experiments.abl_l2_capacity",
+        ("L2 K-entries", "UCNN uJ", "DCNN_sp uJ", "improvement"),
+        network_kw="network"),
+    "abl-chunk": ExperimentSpec(
+        "repro.experiments.abl_chunking",
+        ("cap", "multiplies", "extra bits", "vs 16"),
+        network_kw="network"),
+    "abl-pp": ExperimentSpec(
+        "repro.experiments.abl_partial_product",
+        ("layer", "factorization x", "memoization x", "winograd x"),
+        network_kw="network"),
+    "abl-depth": ExperimentSpec(
+        "repro.experiments.abl_group_depth",
+        ("layer", "filter size", "max useful G", "pigeonhole G"),
+        network_kw="network"),
+}
+
+EXPERIMENTS = tuple(EXPERIMENT_SPECS)
 
 
 def cmd_networks(_args: argparse.Namespace) -> int:
@@ -98,56 +171,69 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_call(name: str, network: str | None):
+    """Resolve (run callable, headers, kwargs) for a named experiment."""
+    spec = EXPERIMENT_SPECS.get(name)
+    if spec is None:
+        raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+    module = importlib.import_module(spec.module)
+    kwargs = {}
+    if network is not None:
+        if spec.network_kw is None:
+            raise SystemExit(f"experiment {name!r} does not take --network")
+        kwargs = {spec.network_kw: (network,) if spec.network_kw == "networks" else network}
+    return module.run, spec.headers, kwargs
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run a named experiment and print its rows."""
-    name = args.name
-    kwargs = {}
-    if args.network is not None and name in ("fig03", "fig12", "fig13", "fig14", "abl-l2", "abl-chunk", "abl-pp"):
-        kwargs = {"networks": (args.network,)} if name in ("fig03", "fig12") else {"network": args.network}
-    if name == "fig03":
-        from repro.experiments import fig03_repetition as module
-        headers = ("network", "layer", "filter size", "nz mean", "nz std", "zero mean", "zero std")
-    elif name == "fig09":
-        from repro.experiments import fig09_energy as module
-        headers = ("network", "bits", "density", "design", "dram", "l2", "pe", "total")
-        if args.network is not None:
-            kwargs = {"networks": (args.network,)}
-    elif name == "fig10":
-        from repro.experiments import fig10_layer_energy as module
-        headers = ("layer", "design", "dram", "l2", "pe", "total")
-    elif name == "fig11":
-        from repro.experiments import fig11_runtime as module
-        headers = ("design", "density", "normalized runtime")
-    elif name == "fig12":
-        from repro.experiments import fig12_inq_perf as module
-        headers = ("network", "design", "cycles", "speedup")
-    elif name == "fig13":
-        from repro.experiments import fig13_model_size as module
-        headers = ("scheme", "density", "bits/weight")
-    elif name == "fig14":
-        from repro.experiments import fig14_jump_tables as module
-        headers = ("G", "jump bits", "bits/weight", "overhead")
-    elif name == "tab02":
-        from repro.experiments import tab02_configs as module
-        headers = ("design", "P", "VK", "VW", "G", "L1 in", "L1 wt", "work", "Ct")
-        kwargs = {}
-    elif name == "tab03":
-        from repro.experiments import tab03_area as module
-        headers = ("component", "DCNN model", "DCNN paper", "UCNN model", "UCNN paper")
-        kwargs = {}
-    elif name == "abl-l2":
-        from repro.experiments import abl_l2_capacity as module
-        headers = ("L2 K-entries", "UCNN uJ", "DCNN_sp uJ", "improvement")
-    elif name == "abl-chunk":
-        from repro.experiments import abl_chunking as module
-        headers = ("cap", "multiplies", "extra bits", "vs 16")
-    elif name == "abl-pp":
-        from repro.experiments import abl_partial_product as module
-        headers = ("layer", "factorization x", "memoization x")
-    else:
-        raise SystemExit(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
-    result = module.run(**kwargs)
+    run, headers, kwargs = _experiment_call(args.name, args.network)
+    result = run(**kwargs)
     print(format_table(headers, result.format_rows()))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run an experiment through the parallel, cached runtime."""
+    from repro.runtime import ResultCache, Runtime, using_runtime
+
+    run, headers, kwargs = _experiment_call(args.experiment, args.network)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(root=args.cache_dir) if args.cache_dir else ResultCache()
+    progress = None
+    if args.verbose:
+        def progress(event: str, label: str) -> None:
+            marker = {"hit": "=", "start": ">", "done": "."}[event]
+            print(f"  [{marker}] {label}", file=sys.stderr)
+    runtime = Runtime(workers=args.workers, cache=cache, progress=progress)
+    with using_runtime(runtime):
+        result = run(**kwargs)
+    print(format_table(headers, result.format_rows()))
+    report = runtime.total_report
+    workers = max(1, args.workers)
+    where = cache.root if cache is not None else "off"
+    print(f"\nsweep: {report.summary()} ({workers} worker(s), cache: {where})")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the design-point result cache."""
+    from repro.runtime import ResultCache, code_fingerprint
+
+    cache = ResultCache(root=args.cache_dir) if args.cache_dir else ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached design point(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    rows = [
+        ("directory", stats.root),
+        ("entries", stats.entries),
+        ("size", f"{stats.bytes / 1024:.1f} KiB"),
+        ("code fingerprint", code_fingerprint()),
+    ]
+    print(format_table(("field", "value"), rows))
     return 0
 
 
@@ -193,6 +279,25 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=EXPERIMENTS)
     exp.add_argument("--network", default=None)
     exp.set_defaults(func=cmd_experiment)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an experiment through the parallel, cached runtime")
+    sweep.add_argument("--experiment", required=True, choices=EXPERIMENTS)
+    sweep.add_argument("--network", default=None)
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0/1 = serial)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result cache")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ucnn)")
+    sweep.add_argument("--verbose", action="store_true",
+                       help="print per-point progress to stderr")
+    sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument("--cache-dir", default=None)
+    cache.set_defaults(func=cmd_cache)
 
     fac = sub.add_parser("factorize", help="factorize a random layer")
     fac.add_argument("--k", type=int, default=8)

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.arch.config import ucnn_config
 from repro.experiments.common import network_shapes, uniform_weight_provider
+from repro.runtime import WorkItem, execute
 from repro.sim.analytic import ucnn_layer_aggregate
 
 PAPER_SWEEP = (2, 4, 8, 16, 32, 64)
@@ -59,21 +60,34 @@ def run(
     caps: tuple[int, ...] = PAPER_SWEEP,
 ) -> ChunkAblationResult:
     """Sweep the chunk cap on one network's conv layers (G = 1)."""
-    shapes = network_shapes(network)
-    provider = uniform_weight_provider(num_unique, density, tag="abl-chunk")
-    base = ucnn_config(num_unique, 16)
-    config_g1 = dataclasses.replace(
-        base, name="UCNN G1", group_size=1, vw=8, pe_cols=1, pe_rows=32)
-    points = []
-    for cap in caps:
-        config = dataclasses.replace(config_g1, max_group_size=cap)
-        mult = 0
-        for shape in shapes:
-            agg = ucnn_layer_aggregate(provider(shape), shape, config)
-            mult += agg.multiplies
-        points.append(ChunkPoint(
+    multiplies = execute(
+        WorkItem(
+            fn=_chunk_point,
+            kwargs={"network": network, "num_unique": num_unique,
+                    "density": density, "cap": cap},
+            label=f"abl-chunk:{cap}",
+        )
+        for cap in caps
+    )
+    points = [
+        ChunkPoint(
             max_group_size=cap,
             multiplies_per_walk=mult,
             extra_operand_bits=int(math.ceil(math.log2(cap))),
-        ))
+        )
+        for cap, mult in zip(caps, multiplies)
+    ]
     return ChunkAblationResult(network=network, group_size=1, points=tuple(points))
+
+
+def _chunk_point(network: str, num_unique: int, density: float, cap: int) -> int:
+    """Design point: total multiplies per walk at one chunk cap."""
+    provider = uniform_weight_provider(num_unique, density, tag="abl-chunk")
+    base = ucnn_config(num_unique, 16)
+    config = dataclasses.replace(
+        base, name="UCNN G1", group_size=1, vw=8, pe_cols=1, pe_rows=32,
+        max_group_size=cap)
+    return sum(
+        ucnn_layer_aggregate(provider(shape), shape, config).multiplies
+        for shape in network_shapes(network)
+    )

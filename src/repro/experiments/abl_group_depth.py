@@ -23,6 +23,8 @@ import numpy as np
 from repro.core.activation_groups import canonical_weight_order
 from repro.core.hierarchical import build_filter_group_tables
 from repro.experiments.common import network_shapes, stable_seed, uniform_weight_provider
+from repro.nn.tensor import ConvShape
+from repro.runtime import WorkItem, execute
 
 
 @dataclass(frozen=True)
@@ -98,25 +100,35 @@ def run(
     Returns:
         a :class:`GroupDepthResult`.
     """
-    shapes = network_shapes(network)
-    provider = uniform_weight_provider(num_unique, density, tag="abl-depth")
-    points = []
-    for shape in shapes:
-        weights = provider(shape)
-        rng = np.random.default_rng(stable_seed("abl-depth", shape.name, num_unique))
-        useful = 1
-        for g in range(2, max_g + 1):
-            if _mean_innermost_size(weights, g, rng) > 1.0:
-                useful = g
-            else:
-                break
-        pigeonhole = 0
-        while shape.filter_size > num_unique ** (pigeonhole + 1) and pigeonhole < max_g:
-            pigeonhole += 1
-        points.append(GroupDepthPoint(
-            layer=shape.name,
-            filter_size=shape.filter_size,
-            max_useful_g=useful,
-            pigeonhole_g=max(1, pigeonhole),
-        ))
+    points = execute(
+        WorkItem(
+            fn=_depth_point,
+            kwargs={"shape": shape, "num_unique": num_unique,
+                    "density": density, "max_g": max_g},
+            label=f"abl-depth:{shape.name}",
+        )
+        for shape in network_shapes(network)
+    )
     return GroupDepthResult(network=network, num_unique=num_unique, points=tuple(points))
+
+
+def _depth_point(shape: ConvShape, num_unique: int, density: float, max_g: int) -> GroupDepthPoint:
+    """Design point: the useful reuse depth of one layer."""
+    provider = uniform_weight_provider(num_unique, density, tag="abl-depth")
+    weights = provider(shape)
+    rng = np.random.default_rng(stable_seed("abl-depth", shape.name, num_unique))
+    useful = 1
+    for g in range(2, max_g + 1):
+        if _mean_innermost_size(weights, g, rng) > 1.0:
+            useful = g
+        else:
+            break
+    pigeonhole = 0
+    while shape.filter_size > num_unique ** (pigeonhole + 1) and pigeonhole < max_g:
+        pigeonhole += 1
+    return GroupDepthPoint(
+        layer=shape.name,
+        filter_size=shape.filter_size,
+        max_useful_g=useful,
+        pigeonhole_g=max(1, pigeonhole),
+    )

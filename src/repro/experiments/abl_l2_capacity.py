@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.arch.config import dcnn_sp_config, ucnn_config
 from repro.experiments.common import INPUT_DENSITY, network_shapes, uniform_weight_provider
+from repro.runtime import WorkItem, execute
 from repro.sim.runner import simulate_network
 
 #: Capacities swept, expressed in activation entries (bytes at 8-bit).
@@ -58,20 +59,30 @@ def run(
     bits: int = 16,
 ) -> L2AblationResult:
     """Sweep L2 activation capacity for UCNN U17 vs DCNN_sp."""
-    shapes = network_shapes(network)
-    points = []
-    for kb in capacities_kb:
-        l2_bytes = kb * 1024 * (bits // 8)
-        ucnn = dataclasses.replace(ucnn_config(17, bits), l2_input_bytes=l2_bytes)
-        sp = dataclasses.replace(dcnn_sp_config(bits), l2_input_bytes=l2_bytes)
-        provider = uniform_weight_provider(17, density, tag="abl-l2")
-        ucnn_res = simulate_network(shapes, ucnn, weight_provider=provider,
-                                    weight_density=density, input_density=INPUT_DENSITY)
-        sp_res = simulate_network(shapes, sp, weight_provider=provider,
-                                  weight_density=density, input_density=INPUT_DENSITY)
-        points.append(L2Point(
-            l2_kilo_entries=kb,
-            ucnn_total_pj=ucnn_res.energy.total_pj,
-            dcnn_sp_total_pj=sp_res.energy.total_pj,
-        ))
+    totals = execute(
+        WorkItem(
+            fn=_capacity_point,
+            kwargs={"network": network, "kb": kb, "density": density, "bits": bits},
+            label=f"abl-l2:{kb}K",
+        )
+        for kb in capacities_kb
+    )
+    points = [
+        L2Point(l2_kilo_entries=kb, ucnn_total_pj=ucnn_pj, dcnn_sp_total_pj=sp_pj)
+        for kb, (ucnn_pj, sp_pj) in zip(capacities_kb, totals)
+    ]
     return L2AblationResult(network=network, points=tuple(points))
+
+
+def _capacity_point(network: str, kb: int, density: float, bits: int) -> tuple[float, float]:
+    """Design point: (UCNN, DCNN_sp) total pJ at one L2 capacity."""
+    shapes = network_shapes(network)
+    l2_bytes = kb * 1024 * (bits // 8)
+    ucnn = dataclasses.replace(ucnn_config(17, bits), l2_input_bytes=l2_bytes)
+    sp = dataclasses.replace(dcnn_sp_config(bits), l2_input_bytes=l2_bytes)
+    provider = uniform_weight_provider(17, density, tag="abl-l2")
+    ucnn_res = simulate_network(shapes, ucnn, weight_provider=provider,
+                                weight_density=density, input_density=INPUT_DENSITY)
+    sp_res = simulate_network(shapes, sp, weight_provider=provider,
+                              weight_density=density, input_density=INPUT_DENSITY)
+    return ucnn_res.energy.total_pj, sp_res.energy.total_pj

@@ -22,7 +22,9 @@ from dataclasses import dataclass
 from repro.arch.config import ucnn_config
 from repro.core.partial_product import partial_product_savings
 from repro.experiments.common import network_shapes, uniform_weight_provider
+from repro.nn.tensor import ConvShape
 from repro.nn.winograd import winograd_multiply_counts
+from repro.runtime import WorkItem, execute
 from repro.sim.analytic import ucnn_layer_aggregate
 
 
@@ -62,25 +64,34 @@ def run(
     density: float = 0.9,
 ) -> PartialProductResult:
     """Compare factorization, memoization and Winograd savings per layer."""
-    shapes = network_shapes(network)
+    points = execute(
+        WorkItem(
+            fn=_layer_point,
+            kwargs={"shape": shape, "num_unique": num_unique, "density": density},
+            label=f"abl-pp:{shape.name}",
+        )
+        for shape in network_shapes(network)
+    )
+    return PartialProductResult(network=network, points=tuple(points))
+
+
+def _layer_point(shape: ConvShape, num_unique: int, density: float) -> ReusePoint:
+    """Design point: the three reuse forms' savings on one layer."""
     provider = uniform_weight_provider(num_unique, density, tag="abl-pp")
     config = ucnn_config(num_unique, 16)
-    points = []
-    for shape in shapes:
-        weights = provider(shape)
-        positions = shape.out_h * shape.out_w
-        dense = shape.num_weights * positions
-        agg = ucnn_layer_aggregate(weights, shape, config)
-        walks = shape.out_h * (-(-shape.out_w // config.vw))
-        fact_mults = walks * config.vw * agg.multiplies
-        memo = partial_product_savings(weights, positions)
-        winograd = None
-        if (shape.r, shape.s, shape.stride) == (3, 3, 1) and shape.out_h % 2 == 0 and shape.out_w % 2 == 0:
-            winograd = winograd_multiply_counts(shape.k, shape.c, shape.out_h, shape.out_w).savings
-        points.append(ReusePoint(
-            layer=shape.name,
-            factorization_savings=dense / max(1, fact_mults),
-            memoization_savings=memo.multiply_savings,
-            winograd_savings=winograd,
-        ))
-    return PartialProductResult(network=network, points=tuple(points))
+    weights = provider(shape)
+    positions = shape.out_h * shape.out_w
+    dense = shape.num_weights * positions
+    agg = ucnn_layer_aggregate(weights, shape, config)
+    walks = shape.out_h * (-(-shape.out_w // config.vw))
+    fact_mults = walks * config.vw * agg.multiplies
+    memo = partial_product_savings(weights, positions)
+    winograd = None
+    if (shape.r, shape.s, shape.stride) == (3, 3, 1) and shape.out_h % 2 == 0 and shape.out_w % 2 == 0:
+        winograd = winograd_multiply_counts(shape.k, shape.c, shape.out_h, shape.out_w).savings
+    return ReusePoint(
+        layer=shape.name,
+        factorization_savings=dense / max(1, fact_mults),
+        memoization_savings=memo.multiply_savings,
+        winograd_savings=winograd,
+    )

@@ -3,6 +3,13 @@
 Deterministic weight generation: every (layer, scheme, density) tuple
 maps to a fixed RNG seed, so all design points within one comparison see
 *identical* weights, and re-runs reproduce bit-identical results.
+
+Weight providers are frozen dataclasses rather than closures for two
+runtime reasons: they pickle into :mod:`repro.runtime` worker processes,
+and they hash — :func:`layer_weights` memoizes generation per
+(provider, layer), so sweeps that revisit the same (layer, scheme,
+density) across design points share one tensor instead of regenerating
+it inside every loop iteration.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ import json
 import math
 from collections.abc import Iterable, Sequence
 from dataclasses import asdict, dataclass, is_dataclass
+from functools import lru_cache
 from pathlib import Path
 
 import numpy as np
@@ -45,28 +53,69 @@ def load_network(name: str) -> Network:
     return get_network(name)
 
 
-def uniform_weight_provider(num_unique: int, density: float, tag: str = ""):
-    """Weight provider with the paper's synthetic construction.
+@dataclass(frozen=True)
+class UniformWeightProvider:
+    """Synthetic uniform-unique weights (the paper's construction).
 
     Each layer's weights are seeded by (layer name, U, density, tag), so
     every design point sees identical tensors.
     """
 
-    def provider(shape: ConvShape) -> np.ndarray:
-        rng = np.random.default_rng(stable_seed("uniform", shape.name, num_unique, density, tag))
-        return uniform_unique_weights(shape.weight_shape, num_unique, density, rng).values
+    num_unique: int
+    density: float
+    tag: str = ""
 
-    return provider
+    def __call__(self, shape: ConvShape) -> np.ndarray:
+        return layer_weights(self, shape)
+
+    def generate(self, shape: ConvShape) -> np.ndarray:
+        """Generate the tensor (uncached; use ``__call__`` normally)."""
+        rng = np.random.default_rng(
+            stable_seed("uniform", shape.name, self.num_unique, self.density, self.tag))
+        return uniform_unique_weights(shape.weight_shape, self.num_unique, self.density, rng).values
 
 
-def inq_weight_provider(density: float | None = 0.9, tag: str = ""):
+@dataclass(frozen=True)
+class InqWeightProvider:
+    """INQ-structured weights (U = 17), seeded per (layer, density, tag)."""
+
+    density: float | None = 0.9
+    tag: str = ""
+
+    def __call__(self, shape: ConvShape) -> np.ndarray:
+        return layer_weights(self, shape)
+
+    def generate(self, shape: ConvShape) -> np.ndarray:
+        """Generate the tensor (uncached; use ``__call__`` normally)."""
+        rng = np.random.default_rng(stable_seed("inq", shape.name, self.density, self.tag))
+        return inq_like_weights(shape.weight_shape, density=self.density, rng=rng).values
+
+
+@lru_cache(maxsize=64)
+def layer_weights(provider, shape: ConvShape) -> np.ndarray:
+    """Memoized per-(provider, layer) weight tensor.
+
+    Hoists generation out of design-point loops: every design point in a
+    sweep that shares a (scheme, density, layer) gets the *same* array.
+    The array is marked read-only because it is shared.
+
+    maxsize must exceed the largest network's conv-layer count (ResNet-50
+    has 53) or back-to-back design points sharing one provider evict each
+    other's layers before reuse; 64 covers that while bounding residency.
+    """
+    values = provider.generate(shape)
+    values.setflags(write=False)
+    return values
+
+
+def uniform_weight_provider(num_unique: int, density: float, tag: str = "") -> UniformWeightProvider:
+    """Weight provider with the paper's synthetic construction."""
+    return UniformWeightProvider(num_unique=num_unique, density=density, tag=tag)
+
+
+def inq_weight_provider(density: float | None = 0.9, tag: str = "") -> InqWeightProvider:
     """Weight provider producing INQ-structured weights (U = 17)."""
-
-    def provider(shape: ConvShape) -> np.ndarray:
-        rng = np.random.default_rng(stable_seed("inq", shape.name, density, tag))
-        return inq_like_weights(shape.weight_shape, density=density, rng=rng).values
-
-    return provider
+    return InqWeightProvider(density=density, tag=tag)
 
 
 def ucnn_config_for_group(group_size: int, bits: int = 16):

@@ -22,6 +22,7 @@ from repro.analysis.repetition import LayerRepetition, layer_repetition
 from repro.experiments.common import stable_seed
 from repro.nn.zoo import get_network, paper_figure3_layers
 from repro.quant.distributions import inq_like_weights
+from repro.runtime import WorkItem, execute
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,20 @@ class Figure3Result:
         return rows
 
 
+def _network_repetition(network: str, density: float) -> list[LayerRepetition]:
+    """Design point: repetition stats for every plotted layer of one network."""
+    net = get_network(network)
+    wanted = set(paper_figure3_layers(net))
+    reps = []
+    for conv in net.conv_layers():
+        if conv.name not in wanted:
+            continue
+        rng = np.random.default_rng(stable_seed("fig03", network, conv.name))
+        weights = inq_like_weights(conv.shape.weight_shape, density=density, rng=rng)
+        reps.append(layer_repetition(conv.name, weights.values))
+    return reps
+
+
 def run(
     networks: tuple[str, ...] = ("lenet", "alexnet", "resnet50"),
     density: float = 0.9,
@@ -56,16 +71,11 @@ def run(
     Returns:
         a :class:`Figure3Result`.
     """
-    out: dict[str, list[LayerRepetition]] = {}
-    for name in networks:
-        network = get_network(name)
-        wanted = set(paper_figure3_layers(network))
-        reps = []
-        for conv in network.conv_layers():
-            if conv.name not in wanted:
-                continue
-            rng = np.random.default_rng(stable_seed("fig03", name, conv.name))
-            weights = inq_like_weights(conv.shape.weight_shape, density=density, rng=rng)
-            reps.append(layer_repetition(conv.name, weights.values))
-        out[name] = reps
-    return Figure3Result(networks=out)
+    items = [
+        WorkItem(fn=_network_repetition,
+                 kwargs={"network": name, "density": density},
+                 label=f"fig03:{name}")
+        for name in networks
+    ]
+    values = execute(items)
+    return Figure3Result(networks=dict(zip(networks, values)))

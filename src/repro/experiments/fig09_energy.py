@@ -17,13 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arch.config import HardwareConfig, paper_configs
+from repro.energy.model import EnergyBreakdown
 from repro.experiments.common import (
     INPUT_DENSITY,
     PAPER_NETWORKS,
     network_shapes,
     uniform_weight_provider,
 )
-from repro.sim.runner import NetworkResult, simulate_network
+from repro.runtime import WorkItem, execute
+from repro.sim.runner import simulate_network
 
 #: Figure 9's density sweep.
 PAPER_DENSITIES = (0.9, 0.65, 0.5)
@@ -92,17 +94,17 @@ class Figure9Result:
         return rows
 
 
-def _simulate_design(
-    shapes, config: HardwareConfig, density: float
-) -> NetworkResult:
+def _design_energy(network: str, config: HardwareConfig, density: float) -> EnergyBreakdown:
+    """Design point: total network energy of one design at one density."""
     u = config.num_unique if config.is_ucnn else 256
     provider = uniform_weight_provider(u, density)
-    return simulate_network(
-        shapes, config,
+    result = simulate_network(
+        network_shapes(network), config,
         weight_provider=provider,
         weight_density=density,
         input_density=INPUT_DENSITY,
     )
+    return result.energy
 
 
 def run(
@@ -116,30 +118,41 @@ def run(
         a :class:`Figure9Result` with one group per
         (network, precision, density) and one entry per design.
     """
+    cells = [
+        (network, precision, density, config)
+        for network in networks
+        for precision in precisions
+        for density in densities
+        for config in paper_configs(precision)
+    ]
+    energies = execute(
+        WorkItem(
+            fn=_design_energy,
+            kwargs={"network": network, "config": config, "density": density},
+            label=f"fig09:{network}:{precision}b:{density}:{config.name}",
+        )
+        for network, precision, density, config in cells
+    )
+    by_group: dict[tuple[str, int, float], list[tuple[HardwareConfig, EnergyBreakdown]]] = {}
+    for (network, precision, density, config), energy in zip(cells, energies):
+        by_group.setdefault((network, precision, density), []).append((config, energy))
     groups: list[EnergyGroup] = []
-    for network in networks:
-        shapes = network_shapes(network)
-        for precision in precisions:
-            configs = paper_configs(precision)
-            for density in densities:
-                results = [(c, _simulate_design(shapes, c, density)) for c in configs]
-                base_total = None
-                entries = []
-                for config, result in results:
-                    energy = result.energy
-                    if config.name == "DCNN":
-                        base_total = energy.total_pj
-                assert base_total is not None
-                for config, result in results:
-                    energy = result.energy
-                    entries.append(EnergyEntry(
-                        design=config.name,
-                        dram=energy.dram_pj / base_total,
-                        l2=energy.l2_pj / base_total,
-                        pe=energy.pe_pj / base_total,
-                    ))
-                groups.append(EnergyGroup(
-                    network=network, precision=precision, density=density,
-                    entries=tuple(entries),
-                ))
+    for (network, precision, density), results in by_group.items():
+        base_total = None
+        for config, energy in results:
+            if config.name == "DCNN":
+                base_total = energy.total_pj
+        assert base_total is not None
+        entries = tuple(
+            EnergyEntry(
+                design=config.name,
+                dram=energy.dram_pj / base_total,
+                l2=energy.l2_pj / base_total,
+                pe=energy.pe_pj / base_total,
+            )
+            for config, energy in results
+        )
+        groups.append(EnergyGroup(
+            network=network, precision=precision, density=density, entries=entries,
+        ))
     return Figure9Result(groups=tuple(groups))

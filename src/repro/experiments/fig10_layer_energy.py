@@ -11,10 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.config import paper_configs
+from repro.arch.config import HardwareConfig, paper_configs
+from repro.energy.model import EnergyBreakdown
 from repro.experiments.common import INPUT_DENSITY, uniform_weight_provider
 from repro.nn.tensor import ConvShape
 from repro.nn.zoo import get_network
+from repro.runtime import WorkItem, execute
 from repro.sim.runner import run_layer
 
 #: The 3x3 bottleneck conv of each ResNet module (Figure 10's layers).
@@ -58,33 +60,46 @@ def paper_layer_shapes() -> list[ConvShape]:
     return [by_name[name] for name in PAPER_LAYER_NAMES]
 
 
+def _layer_energy(shape: ConvShape, config: HardwareConfig, density: float) -> EnergyBreakdown:
+    """Design point: one design's energy on one layer."""
+    u = config.num_unique if config.is_ucnn else 256
+    provider = uniform_weight_provider(u, density)
+    result = run_layer(
+        shape, config,
+        weights=provider(shape),
+        weight_density=density,
+        input_density=INPUT_DENSITY,
+    )
+    return result.energy
+
+
 def run(density: float = 0.5, precision: int = 16) -> Figure10Result:
     """Run the Figure 10 per-layer breakdown."""
-    groups: dict[str, tuple[LayerEnergyEntry, ...]] = {}
-    for shape in paper_layer_shapes():
+    shapes = paper_layer_shapes()
+    configs = paper_configs(precision)
+    cells = [(shape, config) for shape in shapes for config in configs]
+    energies = execute(
+        WorkItem(
+            fn=_layer_energy,
+            kwargs={"shape": shape, "config": config, "density": density},
+            label=f"fig10:{shape.name}:{config.name}",
+        )
+        for shape, config in cells
+    )
+    by_layer: dict[str, list[tuple[HardwareConfig, EnergyBreakdown]]] = {}
+    for (shape, config), energy in zip(cells, energies):
         label = f"{shape.c}:{shape.k}:{shape.r}:{shape.s}"
-        base_total = None
-        entries = []
-        results = []
-        for config in paper_configs(precision):
-            u = config.num_unique if config.is_ucnn else 256
-            provider = uniform_weight_provider(u, density)
-            result = run_layer(
-                shape, config,
-                weights=provider(shape),
-                weight_density=density,
-                input_density=INPUT_DENSITY,
-            )
-            results.append((config, result))
-            if config.name == "DCNN":
-                base_total = result.energy.total_pj
-        assert base_total is not None
-        for config, result in results:
-            entries.append(LayerEnergyEntry(
+        by_layer.setdefault(label, []).append((config, energy))
+    groups: dict[str, tuple[LayerEnergyEntry, ...]] = {}
+    for label, results in by_layer.items():
+        base_total = next(e.total_pj for c, e in results if c.name == "DCNN")
+        groups[label] = tuple(
+            LayerEnergyEntry(
                 design=config.name,
-                dram=result.energy.dram_pj / base_total,
-                l2=result.energy.l2_pj / base_total,
-                pe=result.energy.pe_pj / base_total,
-            ))
-        groups[label] = tuple(entries)
+                dram=energy.dram_pj / base_total,
+                l2=energy.l2_pj / base_total,
+                pe=energy.pe_pj / base_total,
+            )
+            for config, energy in results
+        )
     return Figure10Result(groups=groups)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.experiments.common import ucnn_config_for_group, uniform_weight_provider
 from repro.nn.tensor import ConvShape
 from repro.nn.zoo import get_network
+from repro.runtime import WorkItem, execute
 from repro.sim.analytic import ucnn_layer_aggregate
 
 #: The representative layer used for the sweep (ResNet 64:64:3:3,
@@ -82,25 +83,40 @@ def run(
         a :class:`Figure11Result` including the flat DCNN_sp line.
     """
     shape = shape or _layer_shape()
+    cells = [(density, g) for density in densities for g in group_sizes]
+    runtimes = execute(
+        WorkItem(
+            fn=_runtime_point,
+            kwargs={"shape": shape, "group_size": g, "density": density,
+                    "num_unique": num_unique},
+            label=f"fig11:G{g}:{density}",
+        )
+        for density, g in cells
+    )
+    by_cell = dict(zip(cells, runtimes))
     points: list[RuntimePoint] = []
     for density in densities:
         points.append(RuntimePoint(
             design="DCNN_sp", group_size=1, density=density, normalized_runtime=1.0,
         ))
-        provider = uniform_weight_provider(num_unique, density, tag="fig11")
-        weights = provider(shape)
         for g in group_sizes:
-            config = ucnn_config_for_group(g)
-            agg = ucnn_layer_aggregate(weights, shape, config)
-            # Optimistic: stored entries only (no bubbles, no stalls).
-            # agg.entries is already summed over all (K/G) filter groups
-            # and channel tiles; the throughput-normalized dense design
-            # spends K * R*S*C / 8 cycles per output position.
-            walks = shape.out_h * (-(-shape.out_w // config.vw))
-            ucnn_cycles = walks * agg.entries
-            dense_cycles = shape.out_h * shape.out_w * shape.k * shape.filter_size / 8
             points.append(RuntimePoint(
                 design=f"UCNN G{g}", group_size=g, density=density,
-                normalized_runtime=ucnn_cycles / dense_cycles,
+                normalized_runtime=by_cell[(density, g)],
             ))
     return Figure11Result(points=tuple(points))
+
+
+def _runtime_point(shape: ConvShape, group_size: int, density: float, num_unique: int) -> float:
+    """Design point: optimistic normalized runtime of one (G, density)."""
+    weights = uniform_weight_provider(num_unique, density, tag="fig11")(shape)
+    config = ucnn_config_for_group(group_size)
+    agg = ucnn_layer_aggregate(weights, shape, config)
+    # Optimistic: stored entries only (no bubbles, no stalls).
+    # agg.entries is already summed over all (K/G) filter groups
+    # and channel tiles; the throughput-normalized dense design
+    # spends K * R*S*C / 8 cycles per output position.
+    walks = shape.out_h * (-(-shape.out_w // config.vw))
+    ucnn_cycles = walks * agg.entries
+    dense_cycles = shape.out_h * shape.out_w * shape.k * shape.filter_size / 8
+    return ucnn_cycles / dense_cycles

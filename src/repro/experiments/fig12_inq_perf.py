@@ -19,8 +19,9 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-from repro.arch.config import dcnn_sp_config, ucnn_config
+from repro.arch.config import HardwareConfig, dcnn_sp_config, ucnn_config
 from repro.experiments.common import PAPER_NETWORKS, geomean, inq_weight_provider, network_shapes
+from repro.runtime import WorkItem, execute
 from repro.sim.analytic import dense_layer_events, ucnn_layer_aggregate, ucnn_layer_events
 
 
@@ -80,30 +81,43 @@ def run(
     Returns:
         a :class:`Figure12Result` with speedups vs DCNN_sp VK=1.
     """
-    provider = inq_weight_provider(density=density, tag="fig12")
+    variants = _variant_configs()
+    cells = [(network, name, config) for network in networks for name, config in variants]
+    totals = execute(
+        WorkItem(
+            fn=_network_cycles,
+            kwargs={"network": network, "config": config, "density": density},
+            label=f"fig12:{network}:{name}",
+        )
+        for network, name, config in cells
+    )
+    cycles: dict[str, dict[str, int]] = {}
+    for (network, name, __), total in zip(cells, totals):
+        cycles.setdefault(network, {})[name] = total
     entries: list[PerfEntry] = []
     per_design_speedups: dict[str, list[float]] = {}
     for network in networks:
-        shapes = network_shapes(network)
-        weights_by_layer = {s.name: provider(s) for s in shapes}
-        cycles_by_design: dict[str, int] = {}
-        for name, config in _variant_configs():
-            total = 0
-            for shape in shapes:
-                weights = weights_by_layer[shape.name]
-                if config.is_ucnn:
-                    agg = ucnn_layer_aggregate(weights, shape, config)
-                    total += ucnn_layer_events(shape, config, agg).cycles
-                else:
-                    total += dense_layer_events(shape, config, density, 0.35).cycles
-            cycles_by_design[name] = total
-        base = cycles_by_design["DCNN_sp VK1"]
-        for name, __ in _variant_configs():
-            speedup = base / cycles_by_design[name]
+        base = cycles[network]["DCNN_sp VK1"]
+        for name, __ in variants:
+            speedup = base / cycles[network][name]
             entries.append(PerfEntry(
                 network=network, design=name,
-                cycles=cycles_by_design[name], speedup=speedup,
+                cycles=cycles[network][name], speedup=speedup,
             ))
             per_design_speedups.setdefault(name, []).append(speedup)
     geomeans = {name: geomean(vals) for name, vals in per_design_speedups.items()}
     return Figure12Result(entries=tuple(entries), geomeans=geomeans)
+
+
+def _network_cycles(network: str, config: HardwareConfig, density: float) -> int:
+    """Design point: total network cycles of one Figure 12 variant."""
+    provider = inq_weight_provider(density=density, tag="fig12")
+    total = 0
+    for shape in network_shapes(network):
+        weights = provider(shape)
+        if config.is_ucnn:
+            agg = ucnn_layer_aggregate(weights, shape, config)
+            total += ucnn_layer_events(shape, config, agg).cycles
+        else:
+            total += dense_layer_events(shape, config, density, 0.35).cycles
+    return total

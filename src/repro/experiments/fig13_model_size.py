@@ -26,6 +26,7 @@ from repro.experiments.common import (
     ucnn_config_for_group,
     uniform_weight_provider,
 )
+from repro.runtime import WorkItem, execute
 from repro.sim.analytic import ucnn_layer_aggregate
 
 PAPER_DENSITY_SWEEP = tuple(round(0.1 * i, 1) for i in range(1, 11))
@@ -85,29 +86,23 @@ def run(
         a :class:`Figure13Result`.
     """
     shapes = network_shapes(network)
+    cells = [(density, g) for density in densities for g in group_sizes]
+    ucnn_bits = execute(
+        WorkItem(
+            fn=_ucnn_bits_per_weight,
+            kwargs={"network": network, "group_size": g, "density": density,
+                    "weight_bits": weight_bits},
+            label=f"fig13:G{g}:{density}",
+        )
+        for density, g in cells
+    )
+    by_cell = dict(zip(cells, ucnn_bits))
     points: list[ModelSizePoint] = []
     for density in densities:
         for g in group_sizes:
-            u = SERIES_UNIQUE.get(g, 17)
-            config = ucnn_config_for_group(g, 16)
-            provider = uniform_weight_provider(u, density, tag="fig13")
-            total = None
-            for shape in shapes:
-                agg = ucnn_layer_aggregate(provider(shape), shape, config)
-                model = ucnn_model_size(
-                    stored_entries=agg.entries,
-                    skip_entries=agg.skip_bubbles,
-                    dense_weights=shape.num_weights,
-                    group_size=g,
-                    filter_size=agg.tile_entries,
-                    num_unique=agg.num_unique,
-                    weight_bits=weight_bits,
-                )
-                total = model if total is None else total + model
-            assert total is not None
             points.append(ModelSizePoint(
                 scheme=f"UCNN G{g}", density=density,
-                bits_per_weight=total.bits_per_weight,
+                bits_per_weight=by_cell[(density, g)],
             ))
         dense_weights = sum(s.num_weights for s in shapes)
         nonzero = int(round(dense_weights * density))
@@ -116,3 +111,27 @@ def run(
         points.append(ModelSizePoint("TTQ", density, ttq_model_size(dense_weights).bits_per_weight))
         points.append(ModelSizePoint("INQ", density, inq_model_size(dense_weights).bits_per_weight))
     return Figure13Result(points=tuple(points))
+
+
+def _ucnn_bits_per_weight(
+    network: str, group_size: int, density: float, weight_bits: int
+) -> float:
+    """Design point: UCNN bits/weight of one (G, density) over a network."""
+    u = SERIES_UNIQUE.get(group_size, 17)
+    config = ucnn_config_for_group(group_size, 16)
+    provider = uniform_weight_provider(u, density, tag="fig13")
+    total = None
+    for shape in network_shapes(network):
+        agg = ucnn_layer_aggregate(provider(shape), shape, config)
+        model = ucnn_model_size(
+            stored_entries=agg.entries,
+            skip_entries=agg.skip_bubbles,
+            dense_weights=shape.num_weights,
+            group_size=group_size,
+            filter_size=agg.tile_entries,
+            num_unique=agg.num_unique,
+            weight_bits=weight_bits,
+        )
+        total = model if total is None else total + model
+    assert total is not None
+    return total.bits_per_weight

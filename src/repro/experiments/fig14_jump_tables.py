@@ -22,6 +22,7 @@ blow up quickly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.experiments.common import (
     stable_seed,
     ucnn_config_for_group,
 )
+from repro.runtime import WorkItem, execute
 from repro.sim.analytic import ucnn_layer_aggregate
 
 PAPER_JUMP_WIDTHS = (2, 3, 4, 5, 6, 8)
@@ -147,22 +149,62 @@ def run(
     Returns:
         a :class:`Figure14Result`.
     """
+    cells: list[tuple[int, int | None]] = []
+    for g in group_sizes:
+        cells.append((g, None))
+        cells.extend((g, width) for width in jump_widths)
+    try:
+        values = execute(
+            WorkItem(
+                fn=_jump_point,
+                kwargs={"network": network, "max_layers": max_layers, "group_size": g,
+                        "width": width, "density": density},
+                label=f"fig14:G{g}:{'ptr' if width is None else width}",
+            )
+            for g, width in cells
+        )
+    finally:
+        # The memo only needs to live across this run's points (serial
+        # path; pool workers die with the pool) — don't pin the layer
+        # aggregates for the rest of the process.
+        _layer_data.cache_clear()
+    points = [
+        JumpPoint(group_size=g, jump_bits=width, bits_per_weight=bits, perf_overhead=overhead)
+        for (g, width), (bits, overhead) in zip(cells, values)
+    ]
+    return Figure14Result(points=tuple(points))
+
+
+@lru_cache(maxsize=8)
+def _layer_data(network: str, max_layers: int | None, group_size: int, density: float):
+    """Per-process memo of (shape, weights, aggregate) for one G series."""
     shapes = network_shapes(network)
     if max_layers is not None:
         shapes = shapes[:max_layers]
     provider = inq_weight_provider(density=density, tag="fig14")
-    points: list[JumpPoint] = []
-    for g in group_sizes:
-        config = ucnn_config_for_group(g, 16)
-        layer_data = []
-        for shape in shapes:
-            weights = provider(shape)
-            agg = ucnn_layer_aggregate(weights, shape, config)
-            layer_data.append((shape, weights, agg))
-        base_cycles = sum(
-            shape.out_h * (-(-shape.out_w // config.vw)) * agg.cycles_per_walk_total
-            for shape, __, agg in layer_data
-        )
+    config = ucnn_config_for_group(group_size, 16)
+    return tuple(
+        (shape, provider(shape), ucnn_layer_aggregate(provider(shape), shape, config))
+        for shape in shapes
+    )
+
+
+def _jump_point(
+    network: str,
+    max_layers: int | None,
+    group_size: int,
+    width: int | None,
+    density: float,
+) -> tuple[float, float]:
+    """Design point: (bits/weight, perf overhead) of one (G, jump width).
+
+    ``width=None`` is the absolute-pointer baseline (overhead 1.0 by
+    definition).
+    """
+    g = group_size
+    config = ucnn_config_for_group(g, 16)
+    layer_data = _layer_data(network, max_layers, g, density)
+    if width is None:
         pointer_model = None
         for shape, __, agg in layer_data:
             model = ucnn_model_size(
@@ -171,37 +213,32 @@ def run(
             )
             pointer_model = model if pointer_model is None else pointer_model + model
         assert pointer_model is not None
-        points.append(JumpPoint(
-            group_size=g, jump_bits=None,
-            bits_per_weight=pointer_model.bits_per_weight, perf_overhead=1.0,
-        ))
-        for width in jump_widths:
-            cycles = 0
-            total = None
-            for shape, weights, agg in layer_data:
-                profile = _sampled_jump_profile(weights, shape, config, width)
-                anchor_entries = int(round(profile.anchors_per_entry * agg.entries))
-                hop_entries = int(round(profile.hops_per_entry * agg.entries))
-                jump_entries = agg.entries - anchor_entries
-                pointer_bits = min_pointer_bits(agg.tile_entries)
-                iit_bits = (
-                    anchor_entries * pointer_bits
-                    + (jump_entries + hop_entries) * width
-                )
-                stored = agg.entries + agg.skip_bubbles + hop_entries
-                model = ModelSizeBreakdown(
-                    iit_bits=iit_bits + agg.skip_bubbles * width,
-                    wit_bits=stored * wit_bits_per_entry(g),
-                    weight_bits=agg.num_unique * 8,
-                    dense_weights=shape.num_weights,
-                )
-                total = model if total is None else total + model
-                walks = shape.out_h * (-(-shape.out_w // config.vw))
-                cycles += walks * (agg.cycles_per_walk_total + hop_entries)
-            assert total is not None
-            points.append(JumpPoint(
-                group_size=g, jump_bits=width,
-                bits_per_weight=total.bits_per_weight,
-                perf_overhead=cycles / base_cycles,
-            ))
-    return Figure14Result(points=tuple(points))
+        return pointer_model.bits_per_weight, 1.0
+    base_cycles = sum(
+        shape.out_h * (-(-shape.out_w // config.vw)) * agg.cycles_per_walk_total
+        for shape, __, agg in layer_data
+    )
+    cycles = 0
+    total = None
+    for shape, weights, agg in layer_data:
+        profile = _sampled_jump_profile(weights, shape, config, width)
+        anchor_entries = int(round(profile.anchors_per_entry * agg.entries))
+        hop_entries = int(round(profile.hops_per_entry * agg.entries))
+        jump_entries = agg.entries - anchor_entries
+        pointer_bits = min_pointer_bits(agg.tile_entries)
+        iit_bits = (
+            anchor_entries * pointer_bits
+            + (jump_entries + hop_entries) * width
+        )
+        stored = agg.entries + agg.skip_bubbles + hop_entries
+        model = ModelSizeBreakdown(
+            iit_bits=iit_bits + agg.skip_bubbles * width,
+            wit_bits=stored * wit_bits_per_entry(g),
+            weight_bits=agg.num_unique * 8,
+            dense_weights=shape.num_weights,
+        )
+        total = model if total is None else total + model
+        walks = shape.out_h * (-(-shape.out_w // config.vw))
+        cycles += walks * (agg.cycles_per_walk_total + hop_entries)
+    assert total is not None
+    return total.bits_per_weight, cycles / base_cycles

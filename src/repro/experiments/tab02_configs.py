@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.arch.buffers import channel_tile
 from repro.arch.config import HardwareConfig, paper_configs
 from repro.nn.tensor import ConvShape
+from repro.runtime import WorkItem, execute
 
 #: Reference layer for the derived-Ct column (ResNet 3x3, C=256).
 REFERENCE_LAYER = ConvShape(name="ref", w=14, h=14, c=256, k=256, r=3, s=3, padding=1)
@@ -49,9 +50,11 @@ class Table2Result:
 
 def run(bits: int = 16, reference: ConvShape = REFERENCE_LAYER) -> Table2Result:
     """Build the Table II rows for one precision."""
-    rows = []
-    for config in paper_configs(bits):
-        rows.append(_row(config, reference))
+    rows = execute(
+        WorkItem(fn=_row, kwargs={"config": config, "reference": reference},
+                 label=f"tab02:{config.name}")
+        for config in paper_configs(bits)
+    )
     return Table2Result(rows=tuple(rows))
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.arch.config import dcnn_config, ucnn_config
 from repro.energy.area import PEAreaBreakdown, dcnn_pe_area, ucnn_pe_area
+from repro.runtime import WorkItem, execute
 
 #: The paper's Table III values in mm² (for side-by-side reporting).
 PAPER_DCNN = {
@@ -86,8 +87,9 @@ def run() -> Table3Result:
     ucnn17 = ucnn_config(17, 16)
     ucnn256 = dataclasses.replace(
         ucnn_config(17, 16), name="UCNN U256-prov", num_unique=256)
-    return Table3Result(
-        dcnn=dcnn_pe_area(dcnn),
-        ucnn_u17=ucnn_pe_area(ucnn17),
-        ucnn_u256=ucnn_pe_area(ucnn256),
-    )
+    areas = execute([
+        WorkItem(fn=dcnn_pe_area, kwargs={"config": dcnn}, label="tab03:DCNN"),
+        WorkItem(fn=ucnn_pe_area, kwargs={"config": ucnn17}, label="tab03:UCNN-U17"),
+        WorkItem(fn=ucnn_pe_area, kwargs={"config": ucnn256}, label="tab03:UCNN-U256"),
+    ])
+    return Table3Result(dcnn=areas[0], ucnn_u17=areas[1], ucnn_u256=areas[2])

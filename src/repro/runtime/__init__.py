@@ -1,0 +1,43 @@
+"""Parallel experiment runtime with content-addressed result caching.
+
+Every experiment is decomposed into *design points* — pure, picklable
+``(function, kwargs)`` pairs (:class:`WorkItem`) — and submitted through
+a :class:`Runtime`, which fans points out across a process pool and
+memoizes each point's result on disk under a content-addressed key
+(code fingerprint + function identity + canonicalized kwargs).  Re-runs
+and overlapping sweeps are therefore incremental: only never-seen points
+execute.
+
+The module-level :func:`execute` routes through a global runtime that
+defaults to serial, uncached execution (bit-identical to the historical
+inline loops); the CLI's ``repro sweep`` and the benchmark harness
+configure workers and the cache via :func:`configure` /
+:func:`using_runtime`.
+"""
+
+from repro.runtime.cache import ResultCache, cache_key, canonicalize, code_fingerprint
+from repro.runtime.scheduler import (
+    Runtime,
+    SweepReport,
+    WorkItem,
+    configure,
+    execute,
+    get_runtime,
+    set_runtime,
+    using_runtime,
+)
+
+__all__ = [
+    "ResultCache",
+    "Runtime",
+    "SweepReport",
+    "WorkItem",
+    "cache_key",
+    "canonicalize",
+    "code_fingerprint",
+    "configure",
+    "execute",
+    "get_runtime",
+    "set_runtime",
+    "using_runtime",
+]

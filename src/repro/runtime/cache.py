@@ -1,0 +1,222 @@
+"""Content-addressed on-disk cache for experiment design points.
+
+Cache key schema
+----------------
+
+A design point is addressed by the SHA-256 of the canonical JSON of::
+
+    [code_fingerprint, "module.qualname", canonicalize(kwargs)]
+
+* ``code_fingerprint`` hashes every ``*.py`` file of the installed
+  ``repro`` package, so any source change invalidates the whole cache
+  (conservative but always sound);
+* the function identity pins which computation produced the value;
+* :func:`canonicalize` maps kwargs to a deterministic JSON-able
+  structure — dataclasses keep their class name and field values, numpy
+  arrays contribute shape/dtype plus a digest of their bytes, enums
+  their class and value.  Unknown object kinds raise ``TypeError``
+  rather than silently aliasing distinct points.
+
+Values are stored pickled, sharded by key prefix
+(``<root>/<key[:2]>/<key>.pkl``) and written atomically, so concurrent
+sweeps sharing one cache directory never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+import hashlib
+import json
+import os
+import pickle
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, fields, is_dataclass
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
+#: legitimate cached value).
+MISS = object()
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-ucnn``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-ucnn"
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the ``repro`` package sources (the cache's code version)."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def canonicalize(obj: object) -> object:
+    """Deterministic JSON-able structure for a kwargs value.
+
+    Raises:
+        TypeError: for object kinds without a canonical form (so two
+            distinct design points can never share a key by accident).
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, enum.Enum):
+        return {"__enum__": _type_name(type(obj)), "value": canonicalize(obj.value)}
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return {
+            "__ndarray__": hashlib.sha256(data.tobytes()).hexdigest(),
+            "shape": list(obj.shape),
+            "dtype": str(obj.dtype),
+        }
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return canonicalize(obj.item())
+    if is_dataclass(obj) and not isinstance(obj, type):
+        out: dict[str, object] = {"__dataclass__": _type_name(type(obj))}
+        for f in fields(obj):
+            out[f.name] = canonicalize(getattr(obj, f.name))
+        return out
+    if isinstance(obj, Mapping):
+        # Keys canonicalize like values (type included), so e.g. {1: v}
+        # and {"1": v} cannot alias; pairs are sorted for determinism.
+        pairs = [[canonicalize(k), canonicalize(v)] for k, v in obj.items()]
+        pairs.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"__mapping__": pairs}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(canonicalize(v), sort_keys=True) for v in obj)}
+    if callable(obj):
+        return {"__callable__": _type_name(obj)}
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a cache key")
+
+
+def cache_key(fn: Callable, kwargs: Mapping, fingerprint: str | None = None) -> str:
+    """Content-addressed key of one design point."""
+    payload = [
+        fingerprint if fingerprint is not None else code_fingerprint(),
+        _type_name(fn),
+        canonicalize(dict(kwargs)),
+    ]
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _type_name(obj: object) -> str:
+    module = getattr(obj, "__module__", "?")
+    qualname = getattr(obj, "__qualname__", type(obj).__qualname__)
+    return f"{module}.{qualname}"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Size summary of one cache directory."""
+
+    root: str
+    entries: int
+    bytes: int
+
+
+class ResultCache:
+    """Pickled design-point results, addressed by :func:`cache_key`.
+
+    Args:
+        root: cache directory (default: :func:`default_cache_dir`).
+        fingerprint: code-version override; tests bump this to force
+            misses without editing source files.
+    """
+
+    def __init__(self, root: str | Path | None = None, fingerprint: str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.fingerprint = fingerprint
+
+    def key_for(self, fn: Callable, kwargs: Mapping) -> str:
+        """Key of one design point under this cache's code version."""
+        return cache_key(fn, kwargs, fingerprint=self.fingerprint)
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of a key's entry."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> object:
+        """The stored value, or :data:`MISS`.
+
+        Unreadable entries (torn writes, pickle-format drift) count as
+        misses and will be overwritten by the next :meth:`put`.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except Exception:
+            # pickle.load on corrupt bytes raises far more than
+            # UnpicklingError (ValueError, KeyError, ImportError, ...);
+            # any unreadable entry is simply a miss.
+            return MISS
+
+    def put(self, key: str, value: object) -> None:
+        """Store a value atomically (write to a temp file, then rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def stats(self) -> CacheStats:
+        """Entry count and total bytes under the cache root.
+
+        Bytes include orphaned ``.tmp*`` files from interrupted writes,
+        so the reported size matches what :meth:`clear` reclaims.
+        """
+        entries = 0
+        total = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.pkl"):
+                entries += 1
+                total += path.stat().st_size
+            for path in self.root.rglob("*.tmp*"):
+                total += path.stat().st_size
+        return CacheStats(root=str(self.root), entries=entries, bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed.
+
+        Removes only the entries and shard directories this cache owns —
+        a user-supplied ``--cache-dir`` may contain unrelated files, and
+        those survive.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for shard in self.root.iterdir():
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for entry in shard.glob("*.pkl"):
+                entry.unlink()
+                removed += 1
+            # Orphaned temp files from interrupted put() calls.
+            for leftover in shard.glob("*.tmp*"):
+                leftover.unlink()
+            with contextlib.suppress(OSError):
+                shard.rmdir()
+        return removed

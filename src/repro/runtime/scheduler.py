@@ -1,0 +1,231 @@
+"""Design-point scheduler: serial or process-pool, cache-aware.
+
+The unit of work is a :class:`WorkItem` — a module-level function plus
+plain-data kwargs, so items pickle cleanly into worker processes and
+canonicalize cleanly into cache keys.  :meth:`Runtime.execute` resolves
+cache hits up front, runs the misses (in submission order when serial,
+as-completed under a pool), writes results back to the cache from the
+parent process (single writer), and returns values in item order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.runtime.cache import MISS, ResultCache
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One design point: a picklable function and its kwargs.
+
+    Attributes:
+        fn: module-level callable executed as ``fn(**kwargs)``.
+        kwargs: plain-data arguments (primitives, tuples, dataclasses,
+            numpy arrays — anything :func:`repro.runtime.canonicalize`
+            accepts when caching is on).
+        label: human-readable tag for progress reporting.
+    """
+
+    fn: Callable
+    kwargs: Mapping = field(default_factory=dict)
+    label: str = ""
+
+    def name(self) -> str:
+        """The label, falling back to the function name."""
+        return self.label or getattr(self.fn, "__name__", repr(self.fn))
+
+
+@dataclass(frozen=True)
+class ItemOutcome:
+    """How one item resolved: from cache or by running for ``seconds``."""
+
+    label: str
+    cached: bool
+    seconds: float
+
+
+@dataclass
+class SweepReport:
+    """Aggregate accounting for one :meth:`Runtime.execute` call."""
+
+    outcomes: list[ItemOutcome] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        """Items served from the cache."""
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def misses(self) -> int:
+        """Items that actually executed."""
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    def merged_with(self, other: SweepReport) -> SweepReport:
+        """Combined report (a sweep may span several execute calls)."""
+        return SweepReport(
+            outcomes=self.outcomes + other.outcomes,
+            elapsed=self.elapsed + other.elapsed,
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{len(self.outcomes)} points: {self.hits} cached, "
+            f"{self.misses} ran, {self.elapsed:.2f}s"
+        )
+
+
+class Runtime:
+    """Executes work items serially or across a process pool.
+
+    Args:
+        workers: process count; 0 or 1 means in-process serial execution.
+        cache: optional :class:`ResultCache`; when set, each item is
+            looked up before running and stored after.
+        progress: optional callback ``(event, label)`` with event one of
+            ``"hit"``, ``"start"``, ``"done"``.
+
+    The report of the most recent :meth:`execute` (and the running total
+    since :meth:`reset_report`) is kept on the instance so callers can
+    surface hit/miss accounting without threading it through runners.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: ResultCache | None = None,
+        progress: Callable[[str, str], None] | None = None,
+    ):
+        self.workers = workers
+        self.cache = cache
+        self.progress = progress
+        self.last_report = SweepReport()
+        self.total_report = SweepReport()
+
+    def reset_report(self) -> None:
+        """Zero the running total (start of a new sweep)."""
+        self.total_report = SweepReport()
+
+    def execute(self, items: Sequence[WorkItem] | Iterable[WorkItem]) -> list:
+        """Run every item, returning values in item order."""
+        items = list(items)
+        started = time.perf_counter()
+        report = SweepReport()
+        results: list = [None] * len(items)
+        pending: list[tuple[int, str | None, WorkItem]] = []
+        for index, item in enumerate(items):
+            key = None
+            if self.cache is not None:
+                key = self.cache.key_for(item.fn, item.kwargs)
+                value = self.cache.get(key)
+                if value is not MISS:
+                    results[index] = value
+                    report.outcomes.append(ItemOutcome(item.name(), cached=True, seconds=0.0))
+                    self._emit("hit", item)
+                    continue
+            pending.append((index, key, item))
+        if self.workers > 1 and len(pending) > 1:
+            self._run_pool(pending, results, report)
+        else:
+            self._run_serial(pending, results, report)
+        report.elapsed = time.perf_counter() - started
+        self.last_report = report
+        self.total_report = self.total_report.merged_with(report)
+        return results
+
+    def submit(self, fn: Callable, label: str = "", **kwargs):
+        """Convenience: execute a single point and return its value."""
+        return self.execute([WorkItem(fn=fn, kwargs=kwargs, label=label)])[0]
+
+    def _run_serial(self, pending, results, report) -> None:
+        for index, key, item in pending:
+            self._emit("start", item)
+            t0 = time.perf_counter()
+            value = item.fn(**dict(item.kwargs))
+            seconds = time.perf_counter() - t0
+            results[index] = value
+            if self.cache is not None and key is not None:
+                self.cache.put(key, value)
+            report.outcomes.append(ItemOutcome(item.name(), cached=False, seconds=seconds))
+            self._emit("done", item)
+
+    def _run_pool(self, pending, results, report) -> None:
+        max_workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {}
+            for index, key, item in pending:
+                self._emit("start", item)
+                fut = pool.submit(_invoke, item.fn, dict(item.kwargs))
+                futures[fut] = (index, key, item, time.perf_counter())
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index, key, item, t0 = futures[fut]
+                    value = fut.result()
+                    results[index] = value
+                    if self.cache is not None and key is not None:
+                        self.cache.put(key, value)
+                    report.outcomes.append(
+                        ItemOutcome(item.name(), cached=False, seconds=time.perf_counter() - t0)
+                    )
+                    self._emit("done", item)
+
+    def _emit(self, event: str, item: WorkItem) -> None:
+        if self.progress is not None:
+            self.progress(event, item.name())
+
+
+def _invoke(fn: Callable, kwargs: dict):
+    """Top-level trampoline so pool submissions stay picklable."""
+    return fn(**kwargs)
+
+
+#: The process-wide runtime; serial and uncached by default so library
+#: calls behave exactly like the historical inline loops.
+_runtime = Runtime()
+
+
+def get_runtime() -> Runtime:
+    """The current global runtime."""
+    return _runtime
+
+
+def set_runtime(runtime: Runtime) -> Runtime:
+    """Swap the global runtime; returns the previous one."""
+    global _runtime
+    previous = _runtime
+    _runtime = runtime
+    return previous
+
+
+def configure(
+    workers: int = 0,
+    cache: ResultCache | None = None,
+    progress: Callable[[str, str], None] | None = None,
+) -> Runtime:
+    """Install and return a fresh global runtime."""
+    runtime = Runtime(workers=workers, cache=cache, progress=progress)
+    set_runtime(runtime)
+    return runtime
+
+
+@contextmanager
+def using_runtime(runtime: Runtime):
+    """Temporarily install ``runtime`` as the global runtime."""
+    previous = set_runtime(runtime)
+    try:
+        yield runtime
+    finally:
+        set_runtime(previous)
+
+
+def execute(items: Sequence[WorkItem] | Iterable[WorkItem]) -> list:
+    """Run items on the global runtime (the runners' entry point)."""
+    return get_runtime().execute(items)

@@ -1,7 +1,5 @@
 """Tests for DRAM traffic, the dataflow partition, and L2 accounting."""
 
-import pytest
-
 from repro.arch.config import dcnn_config, dcnn_sp_config, ucnn_config
 from repro.arch.dataflow import (
     filters_per_slot,

@@ -1,11 +1,15 @@
 """Tests for experiment-shared helpers added alongside the runners."""
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.experiments.common import (
     inq_weight_provider,
+    layer_weights,
     ucnn_config_for_group,
+    uniform_weight_provider,
 )
 from repro.nn.tensor import ConvShape
 
@@ -59,3 +63,39 @@ class TestInqProvider:
         a = inq_weight_provider(density=0.9, tag="a")(shape)
         b = inq_weight_provider(density=0.9, tag="b")(shape)
         assert not np.array_equal(a, b)
+
+
+class TestWeightMemoization:
+    """Weight generation is hoisted per (provider, layer) across points."""
+
+    SHAPE = ConvShape(name="memo", w=6, h=6, c=8, k=4, r=3, s=3)
+
+    def test_equal_providers_share_one_tensor(self):
+        a = uniform_weight_provider(17, 0.5, tag="memo")(self.SHAPE)
+        b = uniform_weight_provider(17, 0.5, tag="memo")(self.SHAPE)
+        assert a is b
+
+    def test_shared_tensor_is_read_only(self):
+        weights = uniform_weight_provider(17, 0.5, tag="memo")(self.SHAPE)
+        with pytest.raises(ValueError):
+            weights[0, 0, 0, 0] = 99
+
+    def test_memo_matches_direct_generation(self):
+        provider = uniform_weight_provider(17, 0.5, tag="memo2")
+        assert np.array_equal(layer_weights(provider, self.SHAPE), provider.generate(self.SHAPE))
+
+    def test_providers_pickle_for_worker_processes(self):
+        provider = uniform_weight_provider(17, 0.5, tag="memo")
+        clone = pickle.loads(pickle.dumps(provider))
+        assert clone == provider
+        assert np.array_equal(clone(self.SHAPE), provider(self.SHAPE))
+
+    def test_memo_survives_a_resnet_scale_layer_scan(self):
+        """Back-to-back passes over more layers than ResNet-50's 53 must
+        reuse every tensor (the memo must not evict mid-pass)."""
+        provider = uniform_weight_provider(5, 0.5, tag="memo-scan")
+        shapes = [ConvShape(name=f"scan{i}", w=4, h=4, c=2, k=2, r=3, s=3)
+                  for i in range(54)]
+        first = [provider(s) for s in shapes]
+        second = [provider(s) for s in shapes]
+        assert all(a is b for a, b in zip(first, second))

@@ -14,6 +14,10 @@ from repro.nn.reference import conv2d_grouped
 from repro.nn.zoo import alexnet
 from repro.quant.distributions import uniform_unique_weights
 
+#: The module-scoped fixture alone costs >10s (full AlexNet weight
+#: generation); tier-1 CI deselects via ``-m "not slow"``, nightly runs it.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def weighted_alexnet():

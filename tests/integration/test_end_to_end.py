@@ -11,7 +11,6 @@ import pytest
 
 from repro.arch.config import dcnn_sp_config, paper_configs, ucnn_config
 from repro.core.factorized import FactorizedConv
-from repro.nn.layers import ConvLayer
 from repro.nn.zoo import lenet_cifar10
 from repro.quant.distributions import inq_like_weights
 from repro.quant.inq import quantize_inq
@@ -21,6 +20,7 @@ from repro.experiments.common import network_shapes, uniform_weight_provider
 
 
 class TestFactorizedInference:
+    @pytest.mark.slow
     def test_lenet_conv_stack_bit_exact(self, rng):
         """Run LeNet's conv layers dense and factorized; equal outputs."""
         net = lenet_cifar10()

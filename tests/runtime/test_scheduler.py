@@ -1,0 +1,130 @@
+"""Tests for the design-point scheduler."""
+
+import pytest
+
+from repro.runtime import (
+    ResultCache,
+    Runtime,
+    WorkItem,
+    configure,
+    execute,
+    get_runtime,
+    set_runtime,
+    using_runtime,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _record_pid(x: int) -> tuple[int, int]:
+    import os
+
+    return x, os.getpid()
+
+
+class TestSerialExecution:
+    def test_results_in_item_order(self):
+        runtime = Runtime()
+        items = [WorkItem(fn=_square, kwargs={"x": i}) for i in (3, 1, 2)]
+        assert runtime.execute(items) == [9, 1, 4]
+
+    def test_report_counts_misses(self):
+        runtime = Runtime()
+        runtime.execute([WorkItem(fn=_square, kwargs={"x": 1})])
+        assert runtime.last_report.misses == 1
+        assert runtime.last_report.hits == 0
+
+    def test_submit_single(self):
+        assert Runtime().submit(_square, x=4) == 16
+
+    def test_progress_events(self):
+        events = []
+        runtime = Runtime(progress=lambda e, label: events.append((e, label)))
+        runtime.execute([WorkItem(fn=_square, kwargs={"x": 2}, label="p")])
+        assert ("start", "p") in events and ("done", "p") in events
+
+
+class TestCachedExecution:
+    def test_second_run_is_all_hits(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        items = [WorkItem(fn=_square, kwargs={"x": i}) for i in range(4)]
+        first = Runtime(cache=cache).execute(items)
+        runtime = Runtime(cache=cache)
+        second = runtime.execute(items)
+        assert first == second == [0, 1, 4, 9]
+        assert runtime.last_report.hits == 4
+        assert runtime.last_report.misses == 0
+
+    def test_partial_overlap_is_incremental(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        Runtime(cache=cache).execute([WorkItem(fn=_square, kwargs={"x": 1})])
+        runtime = Runtime(cache=cache)
+        values = runtime.execute(
+            [WorkItem(fn=_square, kwargs={"x": i}) for i in (1, 5)])
+        assert values == [1, 25]
+        assert runtime.last_report.hits == 1
+        assert runtime.last_report.misses == 1
+
+    def test_hit_emits_progress(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        Runtime(cache=cache).execute([WorkItem(fn=_square, kwargs={"x": 1}, label="p")])
+        events = []
+        Runtime(cache=cache, progress=lambda e, label: events.append(e)).execute(
+            [WorkItem(fn=_square, kwargs={"x": 1}, label="p")])
+        assert events == ["hit"]
+
+
+class TestParallelExecution:
+    def test_pool_matches_serial(self):
+        items = [WorkItem(fn=_square, kwargs={"x": i}) for i in range(8)]
+        assert Runtime(workers=2).execute(items) == Runtime().execute(items)
+
+    def test_pool_uses_other_processes(self):
+        import os
+
+        items = [WorkItem(fn=_record_pid, kwargs={"x": i}) for i in range(8)]
+        values = Runtime(workers=2).execute(items)
+        assert [x for x, __ in values] == list(range(8))
+        assert any(pid != os.getpid() for __, pid in values)
+
+    def test_pool_with_cache_writes_back(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        items = [WorkItem(fn=_square, kwargs={"x": i}) for i in range(4)]
+        Runtime(workers=2, cache=cache).execute(items)
+        runtime = Runtime(cache=cache)
+        assert runtime.execute(items) == [0, 1, 4, 9]
+        assert runtime.last_report.hits == 4
+
+
+class TestGlobalRuntime:
+    def test_default_is_serial_uncached(self):
+        runtime = get_runtime()
+        assert runtime.workers in (0, 1)
+        assert runtime.cache is None
+
+    def test_execute_routes_through_global(self):
+        assert execute([WorkItem(fn=_square, kwargs={"x": 3})]) == [9]
+
+    def test_using_runtime_restores(self):
+        before = get_runtime()
+        with using_runtime(Runtime(workers=2)) as inner:
+            assert get_runtime() is inner
+        assert get_runtime() is before
+
+    def test_using_runtime_restores_on_error(self):
+        before = get_runtime()
+        with pytest.raises(RuntimeError):
+            with using_runtime(Runtime()):
+                raise RuntimeError("boom")
+        assert get_runtime() is before
+
+    def test_configure_and_set(self):
+        before = get_runtime()
+        try:
+            installed = configure(workers=3)
+            assert get_runtime() is installed
+            assert installed.workers == 3
+        finally:
+            set_runtime(before)

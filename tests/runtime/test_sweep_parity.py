@@ -1,0 +1,84 @@
+"""Sweep-level guarantees: parallel == serial, cache re-runs are fast.
+
+These are the acceptance checks for the runtime subsystem, exercised on
+the real Figure 11 experiment: a 2-worker sweep must be bit-identical to
+the serial run, and a cache-warm re-run must beat the cold run by >= 5x.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import fig11_runtime, fig13_model_size, tab02_configs
+from repro.runtime import ResultCache, Runtime, using_runtime
+
+SMALL_DENSITIES = (0.2, 0.5, 0.8)
+
+
+class TestParallelParity:
+    def test_fig11_two_workers_bit_identical(self):
+        serial = fig11_runtime.run(densities=SMALL_DENSITIES)
+        with using_runtime(Runtime(workers=2)):
+            parallel = fig11_runtime.run(densities=SMALL_DENSITIES)
+        assert parallel == serial
+
+    def test_fig13_two_workers_bit_identical(self):
+        serial = fig13_model_size.run(network="lenet", densities=(0.5, 0.9))
+        with using_runtime(Runtime(workers=2)):
+            parallel = fig13_model_size.run(network="lenet", densities=(0.5, 0.9))
+        assert parallel == serial
+
+
+class TestCachedSweeps:
+    def test_cached_rerun_bit_identical(self, tmp_path):
+        cold_runtime = Runtime(cache=ResultCache(root=tmp_path))
+        with using_runtime(cold_runtime):
+            cold = fig11_runtime.run(densities=SMALL_DENSITIES)
+        assert cold_runtime.total_report.misses > 0
+        warm_runtime = Runtime(cache=ResultCache(root=tmp_path))
+        with using_runtime(warm_runtime):
+            warm = fig11_runtime.run(densities=SMALL_DENSITIES)
+        assert warm == cold
+        assert warm_runtime.total_report.hits == len(warm_runtime.total_report.outcomes)
+        assert warm_runtime.total_report.misses == 0
+
+    def test_cache_shared_across_experiments_and_scopes(self, tmp_path):
+        """Overlapping sweeps reuse each other's points incrementally."""
+        cache = ResultCache(root=tmp_path)
+        with using_runtime(Runtime(cache=cache)):
+            fig11_runtime.run(densities=(0.2, 0.5))
+        runtime = Runtime(cache=cache)
+        with using_runtime(runtime):
+            fig11_runtime.run(densities=(0.2, 0.5, 0.8))
+        # The two shared densities x three G values hit; only 0.8 runs.
+        assert runtime.total_report.hits == 6
+        assert runtime.total_report.misses == 3
+
+    def test_bumped_code_version_misses(self, tmp_path):
+        with using_runtime(Runtime(cache=ResultCache(root=tmp_path, fingerprint="v1"))):
+            tab02_configs.run()
+        runtime = Runtime(cache=ResultCache(root=tmp_path, fingerprint="v2"))
+        with using_runtime(runtime):
+            tab02_configs.run()
+        assert runtime.total_report.hits == 0
+        assert runtime.total_report.misses > 0
+
+    @pytest.mark.slow
+    def test_full_fig11_cached_rerun_5x_faster(self, tmp_path):
+        """The ISSUE acceptance demonstration, on the full Figure 11 sweep."""
+        cache_dir = tmp_path / "cache"
+        with using_runtime(Runtime(cache=ResultCache(root=cache_dir))):
+            t0 = time.perf_counter()
+            cold = fig11_runtime.run()
+            cold_seconds = time.perf_counter() - t0
+        warm_runtime = Runtime(cache=ResultCache(root=cache_dir))
+        with using_runtime(warm_runtime):
+            t0 = time.perf_counter()
+            warm = fig11_runtime.run()
+            warm_seconds = time.perf_counter() - t0
+        assert warm == cold
+        assert warm_runtime.total_report.misses == 0
+        speedup = cold_seconds / max(warm_seconds, 1e-9)
+        print(f"\nfig11 cached re-run: {cold_seconds:.3f}s cold -> "
+              f"{warm_seconds:.3f}s warm ({speedup:.0f}x)")
+        assert speedup >= 5.0

@@ -43,6 +43,18 @@ class TestParser:
         assert main(["experiment", "tab03"]) == 0
         assert "arithmetic" in capsys.readouterr().out
 
+    def test_experiment_abl_depth_scoped(self, capsys):
+        assert main(["experiment", "abl-depth", "--network", "lenet"]) == 0
+        assert "conv1" in capsys.readouterr().out
+
+    def test_experiment_abl_pp_scoped(self, capsys):
+        assert main(["experiment", "abl-pp", "--network", "lenet"]) == 0
+        assert "winograd" in capsys.readouterr().out
+
+    def test_network_rejected_for_unscoped_experiment(self):
+        with pytest.raises(SystemExit, match="does not take --network"):
+            main(["experiment", "fig11", "--network", "alexnet"])
+
     def test_unknown_design_rejected(self):
         with pytest.raises(SystemExit):
             main(["simulate", "--design", "tpu"])
@@ -55,3 +67,51 @@ class TestParser:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestSweep:
+    def test_sweep_runs_and_reports(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--experiment", "tab02", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "UCNN U17" in out
+        assert "0 cached, 6 ran" in out
+        # Second invocation is served entirely from the cache.
+        assert main(argv) == 0
+        assert "6 cached, 0 ran" in capsys.readouterr().out
+
+    def test_sweep_no_cache(self, capsys):
+        assert main(["sweep", "--experiment", "tab03", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: off" in out
+
+    def test_sweep_verbose_progress(self, tmp_path, capsys):
+        argv = ["sweep", "--experiment", "tab02", "--cache-dir",
+                str(tmp_path / "c"), "--verbose"]
+        assert main(argv) == 0
+        assert "tab02:DCNN" in capsys.readouterr().err
+
+    def test_sweep_parallel_workers(self, tmp_path, capsys):
+        argv = ["sweep", "--experiment", "fig13", "--network", "lenet",
+                "--workers", "2", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_sweep_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--experiment", "fig99"])
+
+
+class TestCache:
+    def test_info_and_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "--experiment", "tab02", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "6" in out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 6" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "0" in capsys.readouterr().out
