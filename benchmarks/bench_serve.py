@@ -1,0 +1,55 @@
+"""Bench: serving layer throughput/latency, cold vs warm cache.
+
+Runs the ``repro bench-serve`` machinery in process: an ephemeral
+server, one cold and one warm closed-loop pass of the default mixed
+workload, recorded under ``benchmarks/results/``.  The warm pass is the
+serving acceptance story — every response comes straight from the
+content-addressed cache, so throughput should sit far above the cold
+pass (>= 5x is the tracked floor at full scale).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload and relaxes the floor
+(CI containers have noisy timers and tiny core counts).
+"""
+
+import tempfile
+
+from conftest import run_once, smoke_mode
+
+from repro.serve import ServeConfig, ServerHandle, default_mix, run_load
+
+
+def _serve_passes(requests: int, scale: str) -> dict:
+    config = ServeConfig(
+        port=0, workers=2, mode="thread", max_delay_ms=2.0,
+        cache_dir=tempfile.mkdtemp(prefix="repro-bench-serve-"))
+    mix = default_mix(requests, scale=scale)
+    with ServerHandle(config) as handle:
+        cold = run_load("127.0.0.1", handle.port, mix, concurrency=8)
+        warm = run_load("127.0.0.1", handle.port, mix, concurrency=8)
+    return {"cold": cold.stats, "warm": warm.stats}
+
+
+def test_bench_serve_cold_vs_warm(benchmark, record_result):
+    smoke = smoke_mode()
+    requests = 40 if smoke else 200
+    scale = "smoke" if smoke else "full"
+    passes = run_once(benchmark, _serve_passes, requests, scale)
+    cold, warm = passes["cold"], passes["warm"]
+    speedup = warm.throughput_rps / cold.throughput_rps
+    rows = [
+        (name, s.requests, f"{s.throughput_rps:.0f}", f"{s.p50_ms:.2f}",
+         f"{s.p99_ms:.2f}", f"{s.hit_rate:.0%}")
+        for name, s in (("cold", cold), ("warm", warm))
+    ]
+    rows.append(("warm/cold", "", f"{speedup:.1f}x", "", "", ""))
+    record_result(
+        "serve_cold_vs_warm",
+        ("pass", "requests", "rps", "p50 ms", "p99 ms", "hit rate"),
+        rows,
+        data=passes,
+    )
+    assert cold.errors == 0 and warm.errors == 0
+    assert warm.hit_rate == 1.0
+    # Warm throughput must clear the floor: 5x at full scale, 2x under
+    # smoke (tiny workloads leave less cold work to amortize).
+    assert speedup >= (2.0 if smoke else 5.0)

@@ -9,7 +9,14 @@ Commands:
   ablations) and print its rows;
 * ``sweep`` — run an experiment through the parallel runtime with the
   on-disk result cache (re-runs are incremental);
-* ``cache`` — inspect or clear the design-point result cache;
+* ``cache`` — inspect or clear the design-point result cache (info
+  includes a per-experiment breakdown and supports LRU eviction via
+  ``--budget-mb``);
+* ``serve`` — run the async batched serving layer (``repro.serve``)
+  until interrupted;
+* ``bench-serve`` — closed-loop load generator against an in-process
+  server; reports p50/p99 latency, throughput, and the warm-over-cold
+  speedup, optionally writing a ``BENCH_serve.json`` artifact;
 * ``factorize`` — factorize a random quantized layer and report table
   statistics (a quick feel for the mechanism).
 
@@ -20,6 +27,8 @@ Examples::
     python -m repro.cli experiment fig13 --network lenet
     python -m repro.cli sweep --experiment fig11 --workers 4
     python -m repro.cli cache info
+    python -m repro.cli serve --workers 4 --port 8537
+    python -m repro.cli bench-serve --requests 200 --verify --json BENCH_serve.json
     python -m repro.cli factorize --u 17 --density 0.9 --c 64
 """
 
@@ -218,13 +227,27 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect or clear the design-point result cache."""
+    """Inspect, clear, or evict from the design-point result cache.
+
+    ``info`` prints the summary block (directory, total entries/bytes,
+    code fingerprint) followed by a per-experiment table — one row per
+    producing function with its entry count and bytes, largest first.
+    ``evict`` applies an LRU sweep down to ``--budget-mb``.
+    """
     from repro.runtime import ResultCache, code_fingerprint
 
     cache = ResultCache(root=args.cache_dir) if args.cache_dir else ResultCache()
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached design point(s) from {cache.root}")
+        return 0
+    if args.action == "evict":
+        if args.budget_mb is None:
+            raise SystemExit("cache evict requires --budget-mb")
+        removed = cache.evict(max_bytes=int(args.budget_mb * 1024 * 1024))
+        stats = cache.stats()
+        print(f"evicted {removed} entr(ies); {stats.entries} left, "
+              f"{stats.bytes / 1024:.1f} KiB in {cache.root}")
         return 0
     stats = cache.stats()
     rows = [
@@ -234,6 +257,134 @@ def cmd_cache(args: argparse.Namespace) -> int:
         ("code fingerprint", code_fingerprint()),
     ]
     print(format_table(("field", "value"), rows))
+    groups = cache.breakdown()
+    if groups:
+        print()
+        print(format_table(
+            ("experiment", "entries", "KiB"),
+            [(g.fn, g.entries, f"{g.bytes / 1024:.1f}") for g in groups]))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async batched serving layer until interrupted."""
+    import time
+
+    from repro.serve import ServeConfig, ServerHandle
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers, mode=args.mode,
+        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+        cache_dir=args.cache_dir, cache_enabled=not args.no_cache,
+        cache_max_bytes=(int(args.cache_budget_mb * 1024 * 1024)
+                         if args.cache_budget_mb is not None else None),
+    )
+    handle = ServerHandle(config).start()
+    where = config.cache_dir or "default cache dir" if not args.no_cache else "off"
+    print(f"serving on {config.host}:{handle.port} "
+          f"({config.workers} {config.mode} shard(s), cache: {where}); Ctrl-C to stop")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.stop()
+        stats = handle.stats()
+        print(f"\nserved {stats['requests']} request(s): {stats['hits']} hits, "
+              f"{stats['misses']} ran, {stats['coalesced']} coalesced, "
+              f"{stats['errors']} error(s)")
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Closed-loop serving benchmark: cold pass, warm pass, parity check.
+
+    Starts an in-process server on an ephemeral port, drives the mixed
+    request list through it twice (cold cache, then warm), and reports
+    per-pass latency percentiles plus the warm-over-cold throughput
+    speedup.  ``--verify`` recomputes every distinct point directly and
+    fails on any serve-vs-direct mismatch; a warm pass with a zero hit
+    rate always fails (the cache is the point).  ``--json`` writes the
+    ``BENCH_serve.json`` artifact nightly CI uploads.
+    """
+    import contextlib
+    import json as json_mod
+    import tempfile
+    from dataclasses import asdict
+
+    from repro.serve import ServeConfig, ServerHandle, default_mix, run_load
+    from repro.serve.endpoints import resolve
+    from repro.serve.protocol import to_jsonable
+
+    mix = default_mix(args.requests, scale=args.scale)
+    with contextlib.ExitStack() as stack:
+        cache_dir = args.cache_dir or stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-bench-serve-"))
+        config = ServeConfig(
+            port=0, workers=args.workers, mode=args.mode, max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms, cache_dir=cache_dir)
+        with ServerHandle(config) as handle:
+            cold = run_load("127.0.0.1", handle.port, mix, concurrency=args.concurrency)
+            warm = run_load("127.0.0.1", handle.port, mix, concurrency=args.concurrency)
+            server_stats = handle.stats()
+
+    failures = []
+    parity = {"checked": 0, "mismatches": 0}
+    if args.verify:
+        direct: dict[str, object] = {}
+        for pass_result in (cold, warm):
+            for (endpoint, kwargs), record in zip(mix, pass_result.records):
+                point = json_mod.dumps([endpoint, kwargs], sort_keys=True)
+                if point not in direct:
+                    value = resolve(endpoint)(**kwargs)
+                    direct[point] = json_mod.loads(json_mod.dumps(to_jsonable(value)))
+                parity["checked"] += 1
+                if not record.ok or record.value != direct[point]:
+                    parity["mismatches"] += 1
+        if parity["mismatches"]:
+            failures.append(f"parity: {parity['mismatches']} mismatch(es)")
+    if cold.stats.errors or warm.stats.errors:
+        failures.append(f"errors: {cold.stats.errors} cold, {warm.stats.errors} warm")
+    if warm.stats.hit_rate <= 0.0:
+        failures.append("warm pass had zero cache hit rate")
+    speedup = (warm.stats.throughput_rps / cold.stats.throughput_rps
+               if cold.stats.throughput_rps else 0.0)
+    if args.min_warm_speedup is not None and speedup < args.min_warm_speedup:
+        failures.append(f"warm speedup {speedup:.1f}x < required {args.min_warm_speedup}x")
+
+    headers = ("pass", "requests", "rps", "p50 ms", "p90 ms", "p99 ms", "hit rate")
+    rows = [
+        (name, s.requests, f"{s.throughput_rps:.0f}", f"{s.p50_ms:.2f}",
+         f"{s.p90_ms:.2f}", f"{s.p99_ms:.2f}", f"{s.hit_rate:.0%}")
+        for name, s in (("cold", cold.stats), ("warm", warm.stats))
+    ]
+    print(format_table(headers, rows))
+    print(f"\nwarm/cold throughput: {speedup:.1f}x  "
+          f"(workers={args.workers} mode={args.mode} batch<={args.max_batch} "
+          f"delay<={args.max_delay_ms}ms concurrency={args.concurrency})")
+    if args.verify:
+        print(f"parity: {parity['checked']} response(s) checked, "
+              f"{parity['mismatches']} mismatch(es)")
+
+    if args.json:
+        payload = {
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "workers": args.workers,
+            "mode": args.mode,
+            "scale": args.scale,
+            "cold": asdict(cold.stats),
+            "warm": asdict(warm.stats),
+            "warm_speedup": speedup,
+            "parity": parity if args.verify else None,
+            "server": server_stats,
+        }
+        with open(args.json, "w") as fh:
+            json_mod.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if failures:
+        raise SystemExit("bench-serve failed: " + "; ".join(failures))
     return 0
 
 
@@ -294,10 +445,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-point progress to stderr")
     sweep.set_defaults(func=cmd_sweep)
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=("info", "clear"))
+    cache = sub.add_parser("cache", help="inspect, clear, or evict the result cache")
+    cache.add_argument("action", choices=("info", "clear", "evict"))
     cache.add_argument("--cache-dir", default=None)
+    cache.add_argument("--budget-mb", type=float, default=None,
+                       help="byte budget for 'evict' (LRU sweep down to this size)")
     cache.set_defaults(func=cmd_cache)
+
+    serve = sub.add_parser("serve", help="run the async batched serving layer")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8537,
+                       help="TCP port (0 = ephemeral, printed at startup)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker shards (one process/thread each)")
+    serve.add_argument("--mode", default="process", choices=("process", "thread"),
+                       help="shard worker kind")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batcher size trigger")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="micro-batcher time trigger (ms)")
+    serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--no-cache", action="store_true",
+                       help="compute every request, never consult the cache")
+    serve.add_argument("--cache-budget-mb", type=float, default=None,
+                       help="LRU byte budget; long-lived servers should set this")
+    serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser(
+        "bench-serve", help="closed-loop load benchmark against an in-process server")
+    bench.add_argument("--requests", type=int, default=200,
+                       help="requests per pass (cold and warm)")
+    bench.add_argument("--concurrency", type=int, default=8,
+                       help="closed-loop client workers")
+    bench.add_argument("--workers", type=int, default=2, help="server worker shards")
+    bench.add_argument("--mode", default="process", choices=("process", "thread"))
+    bench.add_argument("--max-batch", type=int, default=8)
+    bench.add_argument("--max-delay-ms", type=float, default=2.0)
+    bench.add_argument("--scale", default="full", choices=("smoke", "full"),
+                       help="request-mix weight (smoke = lenet-only, CI-cheap)")
+    bench.add_argument("--cache-dir", default=None,
+                       help="server cache dir (default: fresh temp dir = cold start)")
+    bench.add_argument("--verify", action="store_true",
+                       help="recompute every distinct point directly and require parity")
+    bench.add_argument("--min-warm-speedup", type=float, default=None,
+                       help="fail unless warm/cold throughput reaches this factor")
+    bench.add_argument("--json", default=None,
+                       help="write the BENCH_serve.json artifact here")
+    bench.set_defaults(func=cmd_bench_serve)
 
     fac = sub.add_parser("factorize", help="factorize a random layer")
     fac.add_argument("--k", type=int, default=8)

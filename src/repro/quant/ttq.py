@@ -51,6 +51,10 @@ def quantize_ttq(
     if top == 0.0:
         return QuantizedWeights(np.zeros(weights.shape, dtype=np.int64), 1.0, "ttq")
     scale = top / (2 ** (grid_bits - 1) - 1)
+    if scale == 0.0:
+        # top is subnormal: the division underflowed, so the magnitudes
+        # are below the grid's resolution and every weight collapses to 0.
+        return QuantizedWeights(np.zeros(weights.shape, dtype=np.int64), 1.0, "ttq")
     p_int = int(round(w_p / scale))
     n_int = int(round(w_n / scale))
     out = np.zeros(weights.shape, dtype=np.int64)

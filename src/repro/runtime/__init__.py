@@ -15,7 +15,16 @@ configure workers and the cache via :func:`configure` /
 :func:`using_runtime`.
 """
 
-from repro.runtime.cache import ResultCache, cache_key, canonicalize, code_fingerprint
+from repro.runtime.cache import (
+    CacheEntry,
+    CacheStats,
+    GroupStats,
+    ResultCache,
+    cache_key,
+    canonicalize,
+    code_fingerprint,
+    fn_identity,
+)
 from repro.runtime.scheduler import (
     Runtime,
     SweepReport,
@@ -28,6 +37,9 @@ from repro.runtime.scheduler import (
 )
 
 __all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "GroupStats",
     "ResultCache",
     "Runtime",
     "SweepReport",
@@ -37,6 +49,7 @@ __all__ = [
     "code_fingerprint",
     "configure",
     "execute",
+    "fn_identity",
     "get_runtime",
     "set_runtime",
     "using_runtime",

@@ -19,7 +19,24 @@ A design point is addressed by the SHA-256 of the canonical JSON of::
 
 Values are stored pickled, sharded by key prefix
 (``<root>/<key[:2]>/<key>.pkl``) and written atomically, so concurrent
-sweeps sharing one cache directory never observe torn entries.
+sweeps sharing one cache directory never observe torn entries.  Each
+entry wraps its value in a :class:`CacheEntry` carrying the producing
+function's ``module.qualname`` and the work item's label, which powers
+the per-experiment breakdown of ``repro cache info``.
+
+Invalidation rules
+------------------
+
+* any ``repro`` source change rotates :func:`code_fingerprint`, so every
+  previously written key becomes unreachable (stale entries linger on
+  disk until :meth:`ResultCache.clear` or eviction removes them);
+* entries are immutable once written — a key is never overwritten with a
+  different value, only re-written with the same one after a corrupt
+  read;
+* with a byte budget (``max_bytes``), least-recently-*used* entries are
+  evicted first: :meth:`ResultCache.get` refreshes an entry's mtime on
+  every hit, and :meth:`ResultCache.evict` drops the stalest entries
+  until the cache fits the budget.
 """
 
 from __future__ import annotations
@@ -27,9 +44,11 @@ from __future__ import annotations
 import contextlib
 import enum
 import hashlib
+import itertools
 import json
 import os
 import pickle
+import time
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, fields, is_dataclass
 from functools import lru_cache
@@ -43,6 +62,13 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
 #: legitimate cached value).
 MISS = object()
+
+#: Age beyond which an orphaned ``.tmp*`` file is considered abandoned
+#: (a live writer holds its temp file for milliseconds).
+STALE_TMP_SECONDS = 300.0
+
+#: Per-process serial for temp-file names (see :meth:`ResultCache.put`).
+_tmp_serial = itertools.count()
 
 
 def default_cache_dir() -> Path:
@@ -127,11 +153,47 @@ def _type_name(obj: object) -> str:
     return f"{module}.{qualname}"
 
 
+def fn_identity(fn: Callable) -> str:
+    """``module.qualname`` of a point function.
+
+    The one formatter for function identity everywhere it appears — in
+    cache keys, in :class:`CacheEntry` metadata, and in the serve
+    layer — so the per-experiment breakdown groups consistently.
+    """
+    return _type_name(fn)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """On-disk wrapper around one cached value.
+
+    Attributes:
+        value: the design point's result, exactly as the function
+            returned it.
+        fn: producing function's ``module.qualname`` (groups the
+            per-experiment breakdown; empty for anonymous puts).
+        label: the work item's human-readable label, if any.
+    """
+
+    value: object
+    fn: str = ""
+    label: str = ""
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Size summary of one cache directory."""
 
     root: str
+    entries: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Per-function slice of the cache (one ``repro cache info`` row)."""
+
+    fn: str
     entries: int
     bytes: int
 
@@ -143,11 +205,30 @@ class ResultCache:
         root: cache directory (default: :func:`default_cache_dir`).
         fingerprint: code-version override; tests bump this to force
             misses without editing source files.
+        max_bytes: optional byte budget.  When set, every
+            ``sweep_every``-th :meth:`put` triggers an eviction sweep,
+            dropping least-recently-used entries until the budget holds
+            (the cache may transiently exceed the budget between sweeps
+            by at most ``sweep_every`` entries).  ``None`` disables
+            eviction.
+        sweep_every: writes between automatic eviction sweeps.
     """
 
-    def __init__(self, root: str | Path | None = None, fingerprint: str | None = None):
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        fingerprint: str | None = None,
+        max_bytes: int | None = None,
+        sweep_every: int = 32,
+    ):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.fingerprint = fingerprint
+        self.max_bytes = max_bytes
+        self.sweep_every = max(1, sweep_every)
+        # itertools.count.__next__ is atomic, so concurrent put() calls
+        # (the serve write-back executor is multi-threaded) keep an
+        # exact cadence and exactly one thread lands each sweep tick.
+        self._put_serial = itertools.count(1)
 
     def key_for(self, fn: Callable, kwargs: Mapping) -> str:
         """Key of one design point under this cache's code version."""
@@ -160,27 +241,97 @@ class ResultCache:
     def get(self, key: str) -> object:
         """The stored value, or :data:`MISS`.
 
-        Unreadable entries (torn writes, pickle-format drift) count as
-        misses and will be overwritten by the next :meth:`put`.
+        A hit refreshes the entry's mtime so byte-budget eviction is
+        least-recently-*used*, not least-recently-written.  Unreadable
+        entries (torn writes, pickle-format drift) count as misses and
+        will be overwritten by the next :meth:`put`.
         """
+        entry = self.get_entry(key)
+        return entry.value if isinstance(entry, CacheEntry) else entry
+
+    def get_entry(self, key: str) -> object:
+        """The stored :class:`CacheEntry` (value + metadata), or :data:`MISS`."""
         path = self.path_for(key)
         try:
             with path.open("rb") as fh:
-                return pickle.load(fh)
+                loaded = pickle.load(fh)
         except Exception:
             # pickle.load on corrupt bytes raises far more than
             # UnpicklingError (ValueError, KeyError, ImportError, ...);
             # any unreadable entry is simply a miss.
             return MISS
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        if isinstance(loaded, CacheEntry):
+            return loaded
+        # Entry written before the CacheEntry wrapper existed.
+        return CacheEntry(value=loaded)
 
-    def put(self, key: str, value: object) -> None:
-        """Store a value atomically (write to a temp file, then rename)."""
+    def put(self, key: str, value: object, fn: str = "", label: str = "") -> None:
+        """Store a value atomically (write to a temp file, then rename).
+
+        Args:
+            key: content-addressed key from :meth:`key_for`.
+            value: the design point's result (any picklable object).
+            fn: producing function's ``module.qualname``, kept as entry
+                metadata for the per-experiment breakdown.
+            label: the work item's label, kept for the same reason.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        # pid alone is not unique enough: two threads of one process
+        # (e.g. the serve write-back executor) may put the same key
+        # concurrently, and a shared temp name would interleave bytes.
+        tmp = path.with_suffix(f".tmp{os.getpid()}-{next(_tmp_serial)}")
         with tmp.open("wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(CacheEntry(value=value, fn=fn, label=label), fh,
+                        protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
+        if self.max_bytes is not None and next(self._put_serial) % self.sweep_every == 0:
+            self.evict()
+
+    def evict(self, max_bytes: int | None = None) -> int:
+        """Drop least-recently-used entries until the cache fits a budget.
+
+        Args:
+            max_bytes: byte budget; defaults to the cache's
+                ``max_bytes``.  A ``None`` budget evicts nothing.
+
+        Returns:
+            the number of entries removed.  Orphaned ``.tmp*`` files
+            older than :data:`STALE_TMP_SECONDS` are swept too (younger
+            ones may be a concurrent writer's in-progress put).
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None or not self.root.is_dir():
+            return 0
+        # Sweep only *stale* temp files: a fresh one may be a concurrent
+        # writer's in-progress put() (other process, shared cache dir),
+        # whose os.replace would crash if we unlinked it underneath.
+        now = time.time()
+        for leftover in self.root.rglob("*.tmp*"):
+            with contextlib.suppress(OSError):
+                if now - leftover.stat().st_mtime > STALE_TMP_SECONDS:
+                    leftover.unlink()
+        entries = []
+        total = 0
+        for path in self.root.rglob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue  # concurrently evicted by another process
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        entries.sort(key=lambda e: e[0])
+        removed = 0
+        for _mtime, size, path in entries:
+            if total <= budget:
+                break
+            with contextlib.suppress(OSError):
+                path.unlink()
+                removed += 1
+                total -= size
+        return removed
 
     def stats(self) -> CacheStats:
         """Entry count and total bytes under the cache root.
@@ -197,6 +348,38 @@ class ResultCache:
             for path in self.root.rglob("*.tmp*"):
                 total += path.stat().st_size
         return CacheStats(root=str(self.root), entries=entries, bytes=total)
+
+    def breakdown(self) -> list[GroupStats]:
+        """Per-experiment slices: entry count and bytes grouped by the
+        producing function's ``module.qualname``.
+
+        Entries written before metadata existed (or unreadable ones)
+        group under ``"(unknown)"``.  Rows come back sorted by bytes,
+        largest first — the order ``repro cache info`` prints.
+
+        This unpickles every entry to read its metadata, so it costs a
+        full cache read — fine for CLI inspection, not for hot paths
+        (use :meth:`stats` for the cheap stat-only totals).
+        """
+        groups: dict[str, list[int]] = {}
+        if self.root.is_dir():
+            for path in self.root.rglob("*.pkl"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue  # concurrently evicted
+                try:
+                    with path.open("rb") as fh:
+                        loaded = pickle.load(fh)
+                except Exception:
+                    loaded = None  # unreadable: bytes still count
+                fn = loaded.fn if isinstance(loaded, CacheEntry) and loaded.fn else "(unknown)"
+                bucket = groups.setdefault(fn, [0, 0])
+                bucket[0] += 1
+                bucket[1] += size
+        rows = [GroupStats(fn=fn, entries=n, bytes=b) for fn, (n, b) in groups.items()]
+        rows.sort(key=lambda g: (-g.bytes, g.fn))
+        return rows
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed.

@@ -16,7 +16,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.runtime.cache import MISS, ResultCache
+from repro.runtime.cache import MISS, ResultCache, fn_identity
 
 
 @dataclass(frozen=True)
@@ -113,7 +113,20 @@ class Runtime:
         self.total_report = SweepReport()
 
     def execute(self, items: Sequence[WorkItem] | Iterable[WorkItem]) -> list:
-        """Run every item, returning values in item order."""
+        """Run every item, returning values in item order.
+
+        Args:
+            items: work items; consumed eagerly (a generator is fine).
+
+        With a cache attached, each item is keyed via
+        :meth:`ResultCache.key_for` (code fingerprint + function
+        identity + canonicalized kwargs — see ``docs/api.md`` for the
+        schema and invalidation rules) and looked up before running;
+        misses execute and are written back with the item's function
+        name and label as entry metadata.  Cache hits cost no worker
+        dispatch.  Results come back in submission order regardless of
+        completion order under a pool.
+        """
         items = list(items)
         started = time.perf_counter()
         report = SweepReport()
@@ -140,7 +153,14 @@ class Runtime:
         return results
 
     def submit(self, fn: Callable, label: str = "", **kwargs):
-        """Convenience: execute a single point and return its value."""
+        """Convenience: execute a single point and return its value.
+
+        Args:
+            fn: module-level point function (``fn(**kwargs)``).
+            label: progress/metadata tag (defaults to the fn name).
+            **kwargs: plain-data arguments, cache-keyed like
+                :meth:`execute` items.
+        """
         return self.execute([WorkItem(fn=fn, kwargs=kwargs, label=label)])[0]
 
     def _run_serial(self, pending, results, report) -> None:
@@ -151,7 +171,7 @@ class Runtime:
             seconds = time.perf_counter() - t0
             results[index] = value
             if self.cache is not None and key is not None:
-                self.cache.put(key, value)
+                self.cache.put(key, value, fn=fn_identity(item.fn), label=item.label)
             report.outcomes.append(ItemOutcome(item.name(), cached=False, seconds=seconds))
             self._emit("done", item)
 
@@ -171,7 +191,7 @@ class Runtime:
                     value = fut.result()
                     results[index] = value
                     if self.cache is not None and key is not None:
-                        self.cache.put(key, value)
+                        self.cache.put(key, value, fn=fn_identity(item.fn), label=item.label)
                     report.outcomes.append(
                         ItemOutcome(item.name(), cached=False, seconds=time.perf_counter() - t0)
                     )
@@ -218,7 +238,12 @@ def configure(
 
 @contextmanager
 def using_runtime(runtime: Runtime):
-    """Temporarily install ``runtime`` as the global runtime."""
+    """Temporarily install ``runtime`` as the global runtime.
+
+    Restores the previous runtime on exit (exception-safe), so library
+    code that calls :func:`execute` sees the override only inside the
+    ``with`` block.
+    """
     previous = set_runtime(runtime)
     try:
         yield runtime

@@ -1,0 +1,161 @@
+"""Clients for the serve wire protocol (sync and asyncio).
+
+:class:`ServeClient` is the simple blocking client — one request in
+flight at a time, right for scripts and the CLI.  :class:`AsyncServeClient`
+pipelines: many requests may be outstanding on one connection, matched
+back to their callers by request id, which is what the load generator
+and high-concurrency callers want.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from repro.serve.protocol import MAX_LINE_BYTES, Response, decode_message, encode_message
+
+
+class ServeError(RuntimeError):
+    """Raised by ``request(...)`` when the server reports a failure."""
+
+
+class ServeClient:
+    """Blocking JSON-over-TCP client.
+
+    Args:
+        host: server address.
+        port: server port.
+        timeout: socket timeout in seconds for connect and replies.
+
+    Usable as a context manager; the connection persists across
+    requests.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8537, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def request(self, endpoint: str, **kwargs) -> Response:
+        """Issue one request and wait for its response.
+
+        Raises:
+            ServeError: if the server answered ``ok: false``.
+            ConnectionError: if the server hung up mid-request.
+        """
+        self._next_id += 1
+        rid = self._next_id
+        self._file.write(encode_message({"id": rid, "endpoint": endpoint, "kwargs": kwargs}))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = Response.from_wire(decode_message(line))
+        if not response.ok:
+            raise ServeError(response.error or "request failed")
+        return response
+
+    def value(self, endpoint: str, **kwargs):
+        """Shorthand: the response's value alone."""
+        return self.request(endpoint, **kwargs).value
+
+    def stats(self) -> dict:
+        """The server's ``_stats`` counters."""
+        return self.request("_stats").value
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> ServeClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Pipelining asyncio client: build with :meth:`connect`.
+
+    Responses are dispatched to awaiting callers by request id, so any
+    number of :meth:`request` coroutines may be in flight on the one
+    connection.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8537) -> AsyncServeClient:
+        """Open a connection and start the response dispatcher."""
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+        return cls(reader, writer)
+
+    async def request(self, endpoint: str, **kwargs) -> Response:
+        """Issue one request; other requests may overlap freely.
+
+        Raises:
+            ServeError: if the server answered ``ok: false``.
+            ConnectionError: if the connection dropped before the reply.
+        """
+        self._next_id += 1
+        rid = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(
+                    encode_message({"id": rid, "endpoint": endpoint, "kwargs": kwargs}))
+                await self._writer.drain()
+            response: Response = await future
+        finally:
+            self._pending.pop(rid, None)
+        if not response.ok:
+            raise ServeError(response.error or "request failed")
+        return response
+
+    async def aclose(self) -> None:
+        """Stop the dispatcher and close the connection.
+
+        Any still-pending :meth:`request` awaiters fail with
+        ``ConnectionError`` rather than hanging.
+        """
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = Response.from_wire(decode_message(line))
+                future = self._pending.get(response.id)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        exc if isinstance(exc, ConnectionError) else ConnectionError(str(exc)))

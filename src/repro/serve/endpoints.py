@@ -1,0 +1,201 @@
+"""Servable endpoints: named, wire-friendly design-point functions.
+
+An endpoint is a module-level function whose kwargs are plain JSON
+types (numbers, strings, booleans) and whose return value maps onto
+JSON via :func:`repro.serve.protocol.to_jsonable`.  Both constraints
+matter operationally: plain kwargs canonicalize into the same cache key
+whether the call arrives over the wire or in process, and module-level
+functions pickle into the shard pool's worker processes.
+
+The built-in endpoints cover the paper's request shapes — a UCNN
+runtime design point, a full-network simulation, and a layer
+factorization — plus ``ping`` for connectivity checks.  Register
+custom endpoints with :func:`register`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register(name: str, fn: Callable | None = None):
+    """Register an endpoint under ``name``; usable as a decorator.
+
+    Args:
+        name: wire name clients pass as ``endpoint``.
+        fn: the endpoint function; when omitted, returns a decorator.
+
+    Raises:
+        ValueError: if the name is already taken by a different function.
+    """
+    def _add(func: Callable) -> Callable:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not func:
+            raise ValueError(f"endpoint {name!r} already registered")
+        _REGISTRY[name] = func
+        return func
+
+    return _add if fn is None else _add(fn)
+
+
+def resolve(name: str) -> Callable:
+    """The endpoint function registered under ``name``.
+
+    Raises:
+        KeyError: for unknown names (the server maps this to an error
+            response rather than dropping the connection).
+    """
+    fn = _REGISTRY.get(name)
+    if fn is None:
+        raise KeyError(f"unknown endpoint {name!r}; known: {sorted(_REGISTRY)}")
+    return fn
+
+
+def endpoint_names() -> tuple[str, ...]:
+    """All registered endpoint names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+@register("ping")
+def ping(payload: object = None) -> dict:
+    """Liveness probe; echoes the payload.
+
+    The server answers ``ping`` inline on the event loop (like
+    ``_stats``), so it reflects loop health alone — it never consults
+    the cache, queues in the batcher, or dispatches to a shard.  This
+    registry entry exists so ``_endpoints`` lists it and direct callers
+    can invoke it.
+    """
+    return {"pong": payload}
+
+
+@register("runtime_point")
+def runtime_point(
+    network: str = "lenet",
+    layer_index: int = 0,
+    group_size: int = 2,
+    density: float = 0.5,
+    num_unique: int = 17,
+) -> float:
+    """Optimistic normalized UCNN runtime of one (layer, G, density).
+
+    The Figure 11 design point, parameterized by zoo network and conv
+    layer index instead of a :class:`~repro.nn.tensor.ConvShape` so the
+    request is expressible in plain JSON.
+
+    Args:
+        network: zoo network name (``lenet``/``alexnet``/``resnet50``).
+        layer_index: conv-layer index, wrapped modulo the layer count.
+        group_size: UCNN G (1, 2, or 4 — the Table II rows).
+        density: weight density of the synthetic uniform weights.
+        num_unique: U of the synthetic weights (17 = INQ-like).
+
+    Returns:
+        UCNN cycles normalized to the throughput-matched dense design.
+    """
+    from repro.experiments.common import network_shapes, ucnn_config_for_group, uniform_weight_provider
+    from repro.sim.analytic import ucnn_layer_aggregate
+
+    shapes = network_shapes(network)
+    shape = shapes[layer_index % len(shapes)]
+    weights = uniform_weight_provider(num_unique, density, tag="serve")(shape)
+    config = ucnn_config_for_group(group_size)
+    agg = ucnn_layer_aggregate(weights, shape, config)
+    walks = shape.out_h * (-(-shape.out_w // config.vw))
+    ucnn_cycles = walks * agg.entries
+    dense_cycles = shape.out_h * shape.out_w * shape.k * shape.filter_size / 8
+    return ucnn_cycles / dense_cycles
+
+
+@register("simulate")
+def simulate(
+    network: str = "lenet",
+    design: str = "ucnn-u17",
+    density: float = 0.5,
+    bits: int = 16,
+) -> dict:
+    """Full-network simulation summary (the ``repro simulate`` numbers).
+
+    Args:
+        network: zoo network name.
+        design: CLI design name (``dcnn``, ``dcnn-sp``, ``ucnn-u17``, ...).
+        density: weight density.
+        bits: weight precision (8 or 16).
+
+    Returns:
+        dict with ``cycles``, per-level energies in uJ, and
+        ``bits_per_weight``.
+    """
+    from repro.cli import DESIGNS
+    from repro.experiments.common import INPUT_DENSITY, network_shapes, uniform_weight_provider
+    from repro.sim.runner import simulate_network
+
+    if design not in DESIGNS:
+        raise ValueError(f"unknown design {design!r}; choose from {sorted(DESIGNS)}")
+    config = DESIGNS[design](bits)
+    shapes = network_shapes(network)
+    u = config.num_unique if config.is_ucnn else 256
+    provider = uniform_weight_provider(u, density)
+    result = simulate_network(
+        shapes, config, weight_provider=provider,
+        weight_density=density, input_density=INPUT_DENSITY)
+    energy = result.energy
+    return {
+        "cycles": result.cycles,
+        "dram_uj": energy.dram_pj / 1e6,
+        "l2_uj": energy.l2_pj / 1e6,
+        "pe_uj": energy.pe_pj / 1e6,
+        "total_uj": energy.total_pj / 1e6,
+        "bits_per_weight": result.model_size.bits_per_weight,
+    }
+
+
+@register("factorize")
+def factorize(
+    k: int = 8,
+    c: int = 32,
+    r: int = 3,
+    u: int = 17,
+    group_size: int = 2,
+    density: float = 0.9,
+    seed: int = 0,
+) -> dict:
+    """Factorize a synthetic quantized layer; table stats + savings.
+
+    Args:
+        k/c/r: filter count, channels, and spatial size of the layer.
+        u: unique-weight alphabet size.
+        group_size: UCNN filter-group size G.
+        density: weight density.
+        seed: RNG seed for the synthetic weights.
+
+    Returns:
+        dict with per-group table stats and the dense multiply savings.
+    """
+    import numpy as np
+
+    from repro.core.factorized import FactorizedConv
+    from repro.quant.distributions import uniform_unique_weights
+
+    rng = np.random.default_rng(seed)
+    weights = uniform_unique_weights((k, c, r, r), u, density, rng)
+    conv = FactorizedConv(weights.values, group_size=group_size)
+    groups = []
+    for tables in conv.groups[:4]:
+        st = tables.stats()
+        groups.append({
+            "entries": st.num_entries,
+            "multiplies": st.multiplies,
+            "skip_bubbles": st.skip_bubbles,
+            "mult_stalls": st.mult_stalls,
+            "cycles": st.cycles,
+        })
+    counts = conv.op_counts(out_positions=1)
+    return {
+        "num_unique": weights.num_unique,
+        "density": weights.density,
+        "groups": groups,
+        "multiply_savings": counts.multiply_savings,
+    }

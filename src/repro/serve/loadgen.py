@@ -1,0 +1,211 @@
+"""Closed-loop load generator for ``repro bench-serve``.
+
+*Closed loop*: ``concurrency`` workers each keep exactly one request in
+flight — a worker issues the next request only after the previous
+response lands.  Offered load therefore adapts to server speed, and the
+measured latency distribution is not inflated by client-side queueing
+(the coordinated-omission failure mode of naive open-loop generators).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass
+
+from repro.serve.client import AsyncServeClient
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one load-generator request."""
+
+    endpoint: str
+    index: int
+    ok: bool
+    cached: bool
+    coalesced: bool
+    latency_ms: float
+    value: object = None
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Aggregate metrics of one load-generator pass.
+
+    Attributes:
+        requests: total requests issued.
+        errors: requests answered with ``ok: false`` or dropped.
+        seconds: wall-clock duration of the pass.
+        throughput_rps: requests per second over the pass.
+        hit_rate: fraction of successful requests served from cache.
+        coalesced_rate: fraction that piggybacked on an in-flight twin.
+        p50_ms / p90_ms / p99_ms / max_ms: latency percentiles.
+        mean_ms: mean latency.
+    """
+
+    requests: int
+    errors: int
+    seconds: float
+    throughput_rps: float
+    hit_rate: float
+    coalesced_rate: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+    mean_ms: float
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Stats plus the per-request records (parity checks read these)."""
+
+    stats: LoadStats
+    records: tuple[RequestRecord, ...]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list (q in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def summarize(records: list[RequestRecord], seconds: float) -> LoadStats:
+    """Fold request records into a :class:`LoadStats`."""
+    latencies = sorted(r.latency_ms for r in records)
+    good = [r for r in records if r.ok]
+    return LoadStats(
+        requests=len(records),
+        errors=len(records) - len(good),
+        seconds=seconds,
+        throughput_rps=len(records) / seconds if seconds > 0 else 0.0,
+        hit_rate=sum(1 for r in good if r.cached) / len(good) if good else 0.0,
+        coalesced_rate=sum(1 for r in good if r.coalesced) / len(good) if good else 0.0,
+        p50_ms=percentile(latencies, 50),
+        p90_ms=percentile(latencies, 90),
+        p99_ms=percentile(latencies, 99),
+        max_ms=latencies[-1] if latencies else 0.0,
+        mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+    )
+
+
+async def run_load_async(
+    host: str,
+    port: int,
+    requests: list[tuple[str, dict]],
+    concurrency: int = 4,
+) -> LoadResult:
+    """Run one closed-loop pass from inside an event loop.
+
+    Args:
+        host/port: the server to load.
+        requests: ``(endpoint, kwargs)`` pairs, issued in order across
+            the worker pool.
+        concurrency: worker count; each holds one connection and keeps
+            one request in flight.
+
+    Returns:
+        a :class:`LoadResult`; records keep request order indices so
+        parity checks can line responses up with the request list.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    queue: asyncio.Queue = asyncio.Queue()
+    for index, (endpoint, kwargs) in enumerate(requests):
+        queue.put_nowait((index, endpoint, kwargs))
+    records: list[RequestRecord] = []
+
+    async def worker() -> None:
+        try:
+            client = await AsyncServeClient.connect(host, port)
+        except Exception as exc:
+            # A dead/unreachable server is a *result* (error records),
+            # not a crash of the whole pass: drain this worker's share.
+            while True:
+                try:
+                    index, endpoint, kwargs = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                records.append(RequestRecord(
+                    endpoint=endpoint, index=index, ok=False, cached=False,
+                    coalesced=False, latency_ms=0.0, error=f"connect failed: {exc}"))
+        try:
+            while True:
+                try:
+                    index, endpoint, kwargs = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                t0 = time.perf_counter()
+                try:
+                    response = await client.request(endpoint, **kwargs)
+                    records.append(RequestRecord(
+                        endpoint=endpoint, index=index, ok=True,
+                        cached=response.cached, coalesced=response.coalesced,
+                        latency_ms=(time.perf_counter() - t0) * 1000.0,
+                        value=response.value))
+                except Exception as exc:
+                    records.append(RequestRecord(
+                        endpoint=endpoint, index=index, ok=False, cached=False,
+                        coalesced=False,
+                        latency_ms=(time.perf_counter() - t0) * 1000.0,
+                        error=str(exc)))
+        finally:
+            await client.aclose()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(min(concurrency, len(requests) or 1))))
+    seconds = time.perf_counter() - started
+    records.sort(key=lambda r: r.index)
+    return LoadResult(stats=summarize(records, seconds), records=tuple(records))
+
+
+def run_load(
+    host: str,
+    port: int,
+    requests: list[tuple[str, dict]],
+    concurrency: int = 4,
+) -> LoadResult:
+    """Synchronous wrapper around :func:`run_load_async`.
+
+    Call from a thread that is *not* running the server's event loop
+    (the server runs on its own thread under :class:`ServerHandle`).
+    """
+    return asyncio.run(run_load_async(host, port, requests, concurrency=concurrency))
+
+
+def default_mix(n: int, scale: str = "smoke") -> list[tuple[str, dict]]:
+    """A mixed request list with deliberate key repetition.
+
+    Cycles through a base set of distinct design points, so any pass
+    longer than the base set re-requests earlier keys (exercising the
+    cache) while still spreading work across shards.
+
+    Args:
+        n: number of requests.
+        scale: ``"smoke"`` (lenet-only, CI-cheap) or ``"full"`` (adds
+            alexnet runtime points and a lenet simulation — heavier
+            points that make the warm-vs-cold contrast sharper).
+
+    Returns:
+        ``n`` ``(endpoint, kwargs)`` pairs.
+    """
+    base: list[tuple[str, dict]] = []
+    for density in (0.3, 0.5, 0.7, 0.9):
+        for group_size in (1, 2, 4):
+            base.append(("runtime_point", {
+                "network": "lenet", "layer_index": 0,
+                "group_size": group_size, "density": density}))
+    base.append(("factorize", {"k": 4, "c": 16, "u": 9, "group_size": 2, "density": 0.8}))
+    if scale == "full":
+        for layer_index in (0, 2, 4):
+            for density in (0.4, 0.8):
+                base.append(("runtime_point", {
+                    "network": "alexnet", "layer_index": layer_index,
+                    "group_size": 2, "density": density}))
+        base.append(("simulate", {"network": "lenet", "design": "ucnn-u17", "density": 0.5}))
+    return [base[i % len(base)] for i in range(n)]

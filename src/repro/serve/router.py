@@ -1,0 +1,61 @@
+"""Consistent-hash routing of cache keys onto worker shards.
+
+Each shard contributes ``replicas`` virtual points to a hash ring;
+a key routes to the first point clockwise of its own hash.  Two
+properties make this the right router for a serving cache:
+
+* **warmth** — the same key always lands on the same shard, so a
+  shard's in-process memos (e.g. the per-(provider, layer) weight
+  tensors of :func:`repro.experiments.common.layer_weights`) stay hot
+  for the keys it owns;
+* **resize stability** — growing the pool from N to N+1 shards remaps
+  only ~1/(N+1) of the key space, instead of reshuffling everything the
+  way ``hash(key) % N`` would.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def _ring_hash(text: str) -> int:
+    """Position of a label on the ring (first 8 bytes of SHA-256)."""
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Maps cache keys to shard indices via a consistent-hash ring.
+
+    Args:
+        num_shards: number of shards (>= 1).
+        replicas: virtual points per shard; more replicas smooth the
+            load distribution at a small ring-size cost.
+    """
+
+    def __init__(self, num_shards: int, replicas: int = 64):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.num_shards = num_shards
+        self.replicas = replicas
+        points = []
+        for shard in range(num_shards):
+            for replica in range(replicas):
+                points.append((_ring_hash(f"shard-{shard}:{replica}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def route(self, key: str) -> int:
+        """The shard owning ``key`` (deterministic across instances)."""
+        position = _ring_hash(key)
+        index = bisect.bisect_right(self._hashes, position)
+        if index == len(self._hashes):
+            index = 0  # wrap: past the last point means the first shard
+        return self._shards[index]
+
+    def resized(self, num_shards: int) -> ShardRouter:
+        """A router for a grown/shrunk pool, same replica count."""
+        return ShardRouter(num_shards, replicas=self.replicas)

@@ -1,0 +1,443 @@
+"""Async JSON-over-TCP server on top of the runtime cache.
+
+Request lifecycle (see ``docs/architecture.md`` for the full diagram)::
+
+    client line -> decode -> resolve endpoint -> cache key
+        cache hit  -> respond immediately (no worker touched)
+        in flight  -> await the existing computation (single-flight)
+        cache miss -> micro-batcher -> consistent-hash shard -> worker
+                      -> cache.put -> respond
+
+Every connection is handled concurrently, and each request line spawns
+its own task, so one slow design point never blocks cache hits queued
+behind it on the same connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.runtime.cache import MISS, ResultCache, fn_identity
+from repro.serve import endpoints as endpoints_mod
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    to_jsonable,
+)
+from repro.serve.router import ShardRouter
+from repro.serve.shards import MODES, ShardPool
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a :class:`Server` needs to start.
+
+    Attributes:
+        host: bind address.
+        port: bind port; 0 asks the OS for an ephemeral port (the bound
+            port is on ``Server.port`` / ``ServerHandle.port``).
+        workers: shard count — one single-worker executor per shard.
+        mode: ``"process"`` or ``"thread"`` shard workers.
+        max_batch: micro-batcher size trigger.
+        max_delay_ms: micro-batcher time trigger, in milliseconds.
+        cache_dir: result-cache directory (``None`` = the default cache
+            resolution of :func:`repro.runtime.cache.default_cache_dir`).
+        cache_enabled: disable to force every request through a worker.
+        cache_max_bytes: LRU byte budget for the cache (``None`` =
+            unbounded).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8537
+    workers: int = 2
+    mode: str = "process"
+    max_batch: int = 8
+    max_delay_ms: float = 2.0
+    cache_dir: str | None = None
+    cache_enabled: bool = True
+    cache_max_bytes: int | None = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+
+@dataclass
+class ServeStats:
+    """Liveness counters, exposed via the ``_stats`` meta endpoint."""
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    errors: int = 0
+    batches: int = 0
+    per_shard: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy (including derived hit rate) for the wire."""
+        served = self.hits + self.misses + self.coalesced
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "batches": self.batches,
+            "per_shard": dict(self.per_shard),
+            "hit_rate": self.hits / served if served else 0.0,
+        }
+
+
+@dataclass
+class _Pending:
+    """One cache miss queued for a shard: key, call, and its waiter."""
+
+    key: str
+    fn: object
+    kwargs: dict
+    fn_name: str
+    future: asyncio.Future
+    shard: int = 0
+
+
+class Server:
+    """The asyncio serving loop: sockets, cache fast path, shard fan-out.
+
+    Args:
+        config: see :class:`ServeConfig`.
+        cache: inject a pre-built :class:`ResultCache` (tests use this);
+            by default one is constructed from the config.
+
+    Use :meth:`start` + :meth:`serve_forever` from an event loop, or
+    :class:`ServerHandle` to run the whole loop on a background thread.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, cache: ResultCache | None = None):
+        self.config = config or ServeConfig()
+        if cache is not None:
+            self.cache = cache
+        elif self.config.cache_enabled:
+            self.cache = ResultCache(
+                root=self.config.cache_dir, max_bytes=self.config.cache_max_bytes)
+        else:
+            self.cache = None
+        self.stats = ServeStats()
+        self.router = ShardRouter(self.config.workers)
+        self.pool = ShardPool(self.config.workers, mode=self.config.mode)
+        self.batcher = MicroBatcher(
+            self._flush_batch,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay_ms / 1000.0,
+        )
+        self.port: int | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        # Strong references: the loop only weakly references tasks, so
+        # an un-retained shard task could be garbage-collected mid-batch
+        # and leave every future in that batch unresolved.
+        self._shard_tasks: set[asyncio.Task] = set()
+
+    async def start(self) -> None:
+        """Bind the listening socket; fills in :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Accept connections until cancelled (call :meth:`start` first)."""
+        assert self._server is not None, "call start() before serve_forever()"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop open connections, flush, stop the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.batcher.aclose()
+        if self._shard_tasks:
+            await asyncio.gather(*self._shard_tasks, return_exceptions=True)
+        self.pool.shutdown()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+            conn_task.add_done_callback(self._conn_tasks.discard)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, write_lock, {
+                        "id": -1, "ok": False, "error": "request line too long"})
+                    break
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            pass  # server shutdown: close the connection and exit cleanly
+        finally:
+            if tasks:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        response = await self._handle_request(line)
+        await self._write(writer, write_lock, response)
+
+    async def _write(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                     payload: dict) -> None:
+        try:
+            data = encode_message(payload)
+        except (TypeError, ValueError):
+            # A custom endpoint returned something json can't encode;
+            # the client must still get *a* response for this id.
+            self.stats.errors += 1
+            data = encode_message({
+                "id": payload.get("id", -1), "ok": False,
+                "error": "endpoint returned a value that is not JSON-serializable"})
+        async with lock:
+            writer.write(data)
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+
+    async def _handle_request(self, line: bytes) -> dict:
+        started = time.perf_counter()
+        self.stats.requests += 1
+        rid = -1
+        try:
+            message = decode_message(line)
+            rid = message.get("id", -1)
+            name = message.get("endpoint")
+            kwargs = message.get("kwargs") or {}
+            if not isinstance(name, str):
+                raise ProtocolError("missing 'endpoint'")
+            if not isinstance(kwargs, dict):
+                raise ProtocolError("'kwargs' must be an object")
+            if name == "_stats":
+                return self._ok(rid, self.stats.snapshot(), started)
+            if name == "_endpoints":
+                return self._ok(rid, list(endpoints_mod.endpoint_names()), started)
+            if name == "ping":
+                # Liveness probe: answered inline so it reflects event-loop
+                # health alone, never blocks on (or writes junk into) the
+                # cache or a wedged shard pool.
+                return self._ok(rid, {"pong": kwargs.get("payload")}, started)
+            fn = endpoints_mod.resolve(name)
+            return await self._serve_point(rid, name, fn, kwargs, started)
+        except (ProtocolError, KeyError, TypeError, ValueError) as exc:
+            self.stats.errors += 1
+            return {"id": rid, "ok": False,
+                    "error": str(exc.args[0]) if exc.args else repr(exc)}
+        except Exception as exc:  # endpoint raised: report, don't crash
+            self.stats.errors += 1
+            return {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    async def _serve_point(self, rid: int, name: str, fn, kwargs: dict,
+                           started: float) -> dict:
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(fn, kwargs)
+            value = self.cache.get(key)
+            if value is not MISS:
+                self.stats.hits += 1
+                return self._ok(rid, to_jsonable(value), started, cached=True)
+            existing = self._inflight.get(key)
+            if existing is not None:
+                value = await asyncio.shield(existing)
+                self.stats.coalesced += 1
+                return self._ok(rid, to_jsonable(value), started, coalesced=True)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if key is not None:
+            self._inflight[key] = future
+            # The entry lives until the computation resolves — NOT until
+            # this requester stops waiting: if the requester disconnects
+            # mid-compute, later identical requests must still coalesce
+            # onto the running computation instead of launching a twin.
+            future.add_done_callback(self._inflight_cleanup(key))
+        pending = _Pending(
+            key=key or "", fn=fn, kwargs=kwargs,
+            fn_name=fn_identity(fn), future=future)
+        shard = self.router.route(key or repr((name, sorted(kwargs.items()))))
+        self.stats.misses += 1
+        self.stats.per_shard[shard] = self.stats.per_shard.get(shard, 0) + 1
+        pending.shard = shard
+        await self.batcher.submit(pending)
+        # Shielded: if this requester disconnects mid-compute, its task
+        # cancellation must not cancel the shared future that coalesced
+        # requests are awaiting (and that _run_shard will resolve).
+        value = await asyncio.shield(future)
+        return self._ok(rid, to_jsonable(value), started, shard=shard)
+
+    def _inflight_cleanup(self, key: str):
+        """Done-callback dropping ``key``'s in-flight entry (same future only)."""
+        def _cleanup(future: asyncio.Future) -> None:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+            if not future.cancelled():
+                # Mark a failure retrieved even when every requester has
+                # hung up (waiters read their own shield-copies), so the
+                # loop doesn't log "exception was never retrieved".
+                future.exception()
+        return _cleanup
+
+    async def _flush_batch(self, batch: list) -> None:
+        self.stats.batches += 1
+        by_shard: dict[int, list[_Pending]] = {}
+        for pending in batch:
+            by_shard.setdefault(pending.shard, []).append(pending)
+        for shard, group in by_shard.items():
+            task = asyncio.ensure_future(self._run_shard(shard, group))
+            self._shard_tasks.add(task)
+            task.add_done_callback(self._shard_tasks.discard)
+
+    async def _run_shard(self, shard: int, group: list) -> None:
+        loop = asyncio.get_running_loop()
+        calls = [(p.fn, p.kwargs) for p in group]
+        try:
+            outcomes = await self.pool.run_on_shard(shard, calls)
+        except Exception as exc:  # pool-level failure (broken worker)
+            for pending in group:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        if self.cache is not None:
+            # Write-backs run concurrently off the loop (disk I/O, and
+            # possibly an LRU eviction sweep), *before* the futures
+            # resolve so an immediate repeat request is a guaranteed
+            # hit.  Failures are tolerated — the cache is a memo, not
+            # the source of truth — and must never leave a future
+            # unresolved.
+            writes = [
+                loop.run_in_executor(
+                    None, partial(self.cache.put, p.key, v, fn=p.fn_name))
+                for p, (ok, v) in zip(group, outcomes) if ok and p.key
+            ]
+            if writes:
+                await asyncio.gather(*writes, return_exceptions=True)
+        for pending, (ok, value) in zip(group, outcomes):
+            if pending.future.done():
+                continue
+            if ok:
+                pending.future.set_result(value)
+            else:
+                pending.future.set_exception(value)
+
+    def _ok(self, rid: int, value, started: float, cached: bool = False,
+            coalesced: bool = False, shard: int | None = None) -> dict:
+        return {
+            "id": rid, "ok": True, "value": value, "cached": cached,
+            "coalesced": coalesced, "shard": shard,
+            "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+        }
+
+
+class ServerHandle:
+    """Runs a :class:`Server` event loop on a daemon thread.
+
+    The synchronous entry point examples, tests, and ``repro
+    bench-serve`` use::
+
+        with ServerHandle(ServeConfig(port=0, mode="thread")) as handle:
+            client = ServeClient("127.0.0.1", handle.port)
+            ...
+
+    Attributes:
+        port: the bound port, available once :meth:`start` returns.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, cache: ResultCache | None = None):
+        self.config = config or ServeConfig()
+        self.server = Server(self.config, cache=cache)
+        self.port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> ServerHandle:
+        """Start the loop thread; blocks until the socket is bound.
+
+        Raises:
+            RuntimeError: if already started.
+            OSError: if the bind fails (re-raised from the loop thread).
+        """
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Signal shutdown and join the loop thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join()
+        self._thread = None
+
+    def stats(self) -> dict:
+        """Snapshot of the server's counters (thread-safe read)."""
+        return self.server.stats.snapshot()
+
+    def __enter__(self) -> ServerHandle:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = self.server.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.server.aclose()

@@ -1,0 +1,96 @@
+"""The shard pool: one single-worker executor per shard.
+
+A *shard* is one worker with its own warm state.  Giving every shard a
+dedicated single-worker executor (rather than one N-worker pool) is
+what makes the consistent-hash routing meaningful: a key's batch always
+runs on the same OS process/thread, so per-process memos built
+computing that key stay resident for the next request that hashes to
+it.
+
+Two modes:
+
+* ``"process"`` — one :class:`~concurrent.futures.ProcessPoolExecutor`
+  per shard.  True parallelism; endpoint functions and kwargs must
+  pickle.  The production default.
+* ``"thread"`` — one :class:`~concurrent.futures.ThreadPoolExecutor`
+  per shard.  No spawn cost and shared memos across shards; right for
+  tests, demos, and workloads dominated by GIL-releasing numpy kernels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from collections.abc import Callable, Mapping, Sequence
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+
+#: Accepted shard pool modes.
+MODES = ("process", "thread")
+
+
+def _ignore_sigint() -> None:
+    """Process-shard initializer: Ctrl-C belongs to the server process.
+
+    A foreground Ctrl-C is delivered to the whole process group; without
+    this, every shard worker dies mid-batch with a KeyboardInterrupt
+    traceback instead of letting the pool shut down cleanly.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def run_batch(calls: Sequence[tuple[Callable, Mapping]]) -> list:
+    """Execute a batch of ``(fn, kwargs)`` calls in order.
+
+    Module-level so a whole batch pickles into a worker process as one
+    submission — the IPC cost is paid per *batch*, not per request.
+
+    Returns:
+        one ``(ok, value_or_exception)`` pair per call.  Failures are
+        captured per item so one bad request cannot poison the other
+        requests co-batched onto the same shard.
+    """
+    outcomes: list[tuple[bool, object]] = []
+    for fn, kwargs in calls:
+        try:
+            outcomes.append((True, fn(**dict(kwargs))))
+        except Exception as exc:
+            outcomes.append((False, exc))
+    return outcomes
+
+
+class ShardPool:
+    """A fixed set of single-worker executors, one per shard.
+
+    Args:
+        num_shards: shard count (>= 1).
+        mode: ``"process"`` or ``"thread"`` (see module docstring).
+    """
+
+    def __init__(self, num_shards: int, mode: str = "process"):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.num_shards = num_shards
+        self.mode = mode
+        self._executors: list[Executor] = [
+            ProcessPoolExecutor(max_workers=1, initializer=_ignore_sigint)
+            if mode == "process"
+            else ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"shard-{i}")
+            for i in range(num_shards)
+        ]
+
+    async def run_on_shard(self, shard: int, calls: Sequence[tuple[Callable, Mapping]]) -> list:
+        """Run one batch on one shard.
+
+        Returns:
+            ``(ok, value_or_exception)`` pairs in call order (see
+            :func:`run_batch`).
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executors[shard], run_batch, list(calls))
+
+    def shutdown(self) -> None:
+        """Stop every shard executor (waits for in-flight batches)."""
+        for executor in self._executors:
+            executor.shutdown(wait=True)

@@ -1,0 +1,128 @@
+"""Tests for cache eviction (LRU byte budget) and entry metadata."""
+
+import os
+import pickle
+
+from repro.runtime import ResultCache, Runtime, WorkItem
+from repro.runtime.cache import MISS, CacheEntry
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _age(cache: ResultCache, key: str, seconds_ago: float) -> None:
+    """Backdate an entry's mtime (deterministic LRU ordering in tests)."""
+    path = cache.path_for(key)
+    stamp = path.stat().st_mtime - seconds_ago
+    os.utime(path, (stamp, stamp))
+
+
+class TestEviction:
+    def test_budget_respected_after_evict(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        payload = b"x" * 1000
+        for i in range(10):
+            cache.put(f"{i:064d}", payload)
+        total = cache.stats().bytes
+        assert total > 5000
+        cache.evict(max_bytes=total // 2)
+        assert cache.stats().bytes <= total // 2
+        assert cache.stats().entries < 10
+
+    def test_least_recently_used_goes_first(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        old, fresh = "a" * 64, "b" * 64
+        cache.put(old, b"x" * 500)
+        cache.put(fresh, b"x" * 500)
+        _age(cache, old, seconds_ago=100)
+        entry_size = cache.path_for(fresh).stat().st_size
+        cache.evict(max_bytes=entry_size)
+        assert cache.get(old) is MISS
+        assert cache.get(fresh) == b"x" * 500
+
+    def test_get_refreshes_recency(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        first, second = "c" * 64, "d" * 64
+        cache.put(first, 1)
+        cache.put(second, 2)
+        _age(cache, first, seconds_ago=100)
+        _age(cache, second, seconds_ago=100)
+        assert cache.get(first) == 1  # touch: now the most recent
+        entry_size = cache.path_for(first).stat().st_size
+        cache.evict(max_bytes=entry_size)
+        assert cache.get(first) == 1
+        assert cache.get(second) is MISS
+
+    def test_no_budget_means_no_eviction(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("e" * 64, 1)
+        assert cache.evict() == 0
+        assert cache.stats().entries == 1
+
+    def test_put_auto_sweeps_with_budget(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=1200, sweep_every=1)
+        for i in range(6):
+            cache.put(f"{i:064d}", b"y" * 400)
+        # Sweeping after every put keeps the directory at the budget.
+        assert cache.stats().bytes <= 1200
+        assert 1 <= cache.stats().entries < 6
+
+    def test_sweep_every_batches_eviction(self, tmp_path):
+        cache = ResultCache(root=tmp_path, max_bytes=1, sweep_every=4)
+        for i in range(3):
+            cache.put(f"{i:064d}", b"z" * 100)
+        assert cache.stats().entries == 3  # under the sweep interval
+        cache.put("3".rjust(64, "0"), b"z" * 100)  # 4th put triggers it
+        assert cache.stats().entries == 0
+
+    def test_evict_sweeps_stale_tmp_files_only(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        key = "f" * 64
+        cache.put(key, 1)
+        stale = cache.path_for(key).with_suffix(".tmp999")
+        stale.write_bytes(b"abandoned write")
+        old = stale.stat().st_mtime - 3600
+        os.utime(stale, (old, old))
+        fresh = cache.path_for(key).with_suffix(".tmp998")
+        fresh.write_bytes(b"concurrent writer mid-put")
+        cache.evict(max_bytes=10**9)  # large budget: no entry evicted
+        assert not stale.exists()
+        assert fresh.exists()  # may be a live writer: spared
+        assert cache.get(key) == 1
+
+
+class TestEntryMetadata:
+    def test_runtime_put_records_fn_and_label(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        runtime = Runtime(cache=cache)
+        runtime.execute([WorkItem(fn=_square, kwargs={"x": 3}, label="sq:3")])
+        key = cache.key_for(_square, {"x": 3})
+        entry = cache.get_entry(key)
+        assert isinstance(entry, CacheEntry)
+        assert entry.value == 9
+        assert entry.fn.endswith("test_eviction._square")
+        assert entry.label == "sq:3"
+
+    def test_breakdown_groups_by_function(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        runtime = Runtime(cache=cache)
+        runtime.execute([WorkItem(fn=_square, kwargs={"x": i}) for i in range(3)])
+        groups = cache.breakdown()
+        assert len(groups) == 1
+        assert groups[0].fn.endswith("test_eviction._square")
+        assert groups[0].entries == 3
+        assert groups[0].bytes == cache.stats().bytes
+
+    def test_pre_wrapper_entries_still_readable(self, tmp_path):
+        """Raw pickles (written before CacheEntry existed) keep working."""
+        cache = ResultCache(root=tmp_path)
+        key = "9" * 64
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"legacy": True}))
+        assert cache.get(key) == {"legacy": True}
+        entry = cache.get_entry(key)
+        assert isinstance(entry, CacheEntry) and entry.fn == ""
+        groups = cache.breakdown()
+        assert groups[0].fn == "(unknown)"

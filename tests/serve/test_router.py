@@ -1,0 +1,65 @@
+"""Tests for consistent-hash shard routing."""
+
+import hashlib
+
+import pytest
+
+from repro.serve import ShardRouter
+
+
+def _keys(n: int) -> list[str]:
+    return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n)]
+
+
+class TestRouting:
+    def test_deterministic_across_instances(self):
+        a, b = ShardRouter(4), ShardRouter(4)
+        assert [a.route(k) for k in _keys(100)] == [b.route(k) for k in _keys(100)]
+
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter(1)
+        assert {router.route(k) for k in _keys(50)} == {0}
+
+    def test_all_shards_reachable(self):
+        router = ShardRouter(4)
+        owners = {router.route(k) for k in _keys(2000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_load_is_roughly_balanced(self):
+        router = ShardRouter(4)
+        counts = [0, 0, 0, 0]
+        for k in _keys(4000):
+            counts[router.route(k)] += 1
+        # With 64 virtual points per shard the split stays well away
+        # from degenerate; each shard should own 10%-50% of the keys.
+        assert all(400 <= c <= 2000 for c in counts)
+
+
+class TestResizeStability:
+    def test_growing_pool_moves_few_keys(self):
+        """N -> N+1 shards should remap ~1/(N+1) of keys, not all of them."""
+        before = ShardRouter(4)
+        after = before.resized(5)
+        keys = _keys(2000)
+        moved = sum(1 for k in keys if before.route(k) != after.route(k))
+        assert moved / len(keys) < 0.4  # modulo hashing would move ~0.8
+        # Keys that moved all landed on some shard of the larger pool.
+        assert {after.route(k) for k in keys} == {0, 1, 2, 3, 4}
+
+    def test_shrinking_pool_only_reassigns_lost_shard(self):
+        before = ShardRouter(5)
+        after = before.resized(4)
+        for k in _keys(1000):
+            if before.route(k) != 4:  # keys not owned by the removed shard
+                assert after.route(k) == before.route(k)
+
+    def test_resized_keeps_replica_count(self):
+        assert ShardRouter(2, replicas=16).resized(3).replicas == 16
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+        with pytest.raises(ValueError):
+            ShardRouter(2, replicas=0)

@@ -115,3 +115,57 @@ class TestCache:
         assert "cleared 6" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
         assert "0" in capsys.readouterr().out
+
+    def test_info_reports_per_experiment_breakdown(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "--experiment", "tab02", "--cache-dir", cache_dir]) == 0
+        assert main(["sweep", "--experiment", "fig13", "--network", "lenet",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out and "KiB" in out
+        assert "repro.experiments.tab02_configs" in out
+        assert "repro.experiments.fig13_model_size" in out
+
+    def test_evict_respects_budget(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["sweep", "--experiment", "tab02", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "evict", "--cache-dir", cache_dir,
+                     "--budget-mb", "0.0001"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 6" in out or "evicted 5" in out
+
+        from repro.runtime import ResultCache
+
+        assert ResultCache(root=cache_dir).stats().bytes <= 105
+
+    def test_evict_requires_budget(self, tmp_path):
+        with pytest.raises(SystemExit, match="budget"):
+            main(["cache", "evict", "--cache-dir", str(tmp_path)])
+
+
+class TestServe:
+    def test_serve_parser_accepts_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--port", "0", "--mode", "thread",
+             "--cache-budget-mb", "64"])
+        assert args.workers == 4 and args.mode == "thread"
+
+    def test_bench_serve_smoke_with_parity(self, tmp_path, capsys):
+        """The CI serve-smoke contract: parity plus a nonzero hit rate."""
+        json_path = str(tmp_path / "BENCH_serve.json")
+        assert main(["bench-serve", "--requests", "16", "--workers", "2",
+                     "--mode", "thread", "--scale", "smoke", "--verify",
+                     "--json", json_path]) == 0
+        out = capsys.readouterr().out
+        assert "0 mismatch(es)" in out
+        assert "warm/cold throughput" in out
+        import json
+
+        with open(json_path) as fh:
+            payload = json.load(fh)
+        assert payload["parity"]["mismatches"] == 0
+        assert payload["warm"]["hit_rate"] == 1.0
+        assert payload["warm_speedup"] > 0
