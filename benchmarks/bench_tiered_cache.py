@@ -1,0 +1,119 @@
+"""Bench: tiered cache — cold compute vs peer-warm vs local-warm.
+
+The cross-machine reuse story in numbers.  Machine A (a fresh cache
+directory) computes a grid of ``runtime_point`` design points and
+pushes them to a live cache peer; machine B (another fresh directory,
+same peer) then runs the identical grid twice:
+
+* **cold** — A computes everything (and seeds the peer);
+* **peer-warm** — B's first pass: zero design points computed, every
+  value fetched from the peer over HTTP and promoted to local disk;
+* **local-warm** — B's second pass: pure local hits, the floor.
+
+Recorded under ``benchmarks/results/``; when ``REPRO_BENCH_TIERS_JSON``
+is set (nightly CI), the raw passes are also written there as the
+``BENCH_tiers.json`` artifact.  ``REPRO_BENCH_SMOKE=1`` shrinks the
+grid.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import run_once, smoke_mode
+
+from repro.runtime import CachePeer, Runtime, TieredCache, WorkItem
+from repro.serve.endpoints import runtime_point
+
+
+def _grid(smoke: bool) -> list[WorkItem]:
+    networks = ("lenet",) if smoke else ("lenet", "alexnet")
+    densities = (0.3, 0.6) if smoke else (0.2, 0.4, 0.6, 0.8)
+    items = []
+    for network in networks:
+        for layer_index in range(2 if smoke else 4):
+            for group_size in (1, 2, 4):
+                for density in densities:
+                    items.append(WorkItem(
+                        fn=runtime_point,
+                        kwargs={"network": network, "layer_index": layer_index,
+                                "group_size": group_size, "density": density},
+                        label=f"{network}:L{layer_index}:G{group_size}:d{density}"))
+    return items
+
+
+def _timed_pass(name: str, cache: TieredCache, items: list[WorkItem]) -> dict:
+    runtime = Runtime(cache=cache)
+    started = time.perf_counter()
+    values = runtime.execute(items)
+    cache.close()  # includes write-back drain: fair end-to-end timing
+    elapsed = time.perf_counter() - started
+    report = runtime.last_report
+    return {
+        "pass": name,
+        "points": len(items),
+        "elapsed_s": elapsed,
+        "computed": report.misses,
+        "cached": report.hits,
+        "tier": cache.tier_stats(),
+        "values": values,
+    }
+
+
+def _three_passes(items: list[WorkItem]) -> dict:
+    base = Path(tempfile.mkdtemp(prefix="repro-bench-tiers-"))
+    with CachePeer(root=base / "peer") as peer:
+        cold = _timed_pass(
+            "cold", TieredCache(remote=peer.url, root=base / "a"), items)
+        peer_warm = _timed_pass(
+            "peer-warm", TieredCache(remote=peer.url, root=base / "b"), items)
+        local_warm = _timed_pass(
+            "local-warm", TieredCache(remote=peer.url, root=base / "b"), items)
+        peer_stats = peer.stats_payload()
+    return {"cold": cold, "peer_warm": peer_warm, "local_warm": local_warm,
+            "peer": peer_stats}
+
+
+def test_bench_tiered_cache(benchmark, record_result):
+    smoke = smoke_mode()
+    items = _grid(smoke)
+    passes = run_once(benchmark, _three_passes, items)
+    cold, peer_warm, local_warm = (
+        passes["cold"], passes["peer_warm"], passes["local_warm"])
+
+    rows = []
+    for p in (cold, peer_warm, local_warm):
+        speedup = cold["elapsed_s"] / p["elapsed_s"] if p["elapsed_s"] else 0.0
+        rows.append((p["pass"], p["points"], p["computed"], p["cached"],
+                     p["tier"]["remote_hits"], f"{p['elapsed_s'] * 1000:.0f}",
+                     f"{speedup:.1f}x"))
+    data = {k: {kk: vv for kk, vv in v.items() if kk != "values"}
+            for k, v in passes.items() if k != "peer"}
+    data["peer"] = passes["peer"]
+    record_result(
+        "tiered_cache",
+        ("pass", "points", "computed", "cached", "peer hits", "ms", "vs cold"),
+        rows,
+        data=data,
+    )
+    artifact = os.environ.get("REPRO_BENCH_TIERS_JSON")
+    if artifact:
+        with open(artifact, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+
+    # Accounting floors (timing-free, CI-safe):
+    n = len(items)
+    assert cold["computed"] == n and cold["tier"]["pushes"] == n
+    # Machine B's first pass recomputed ZERO points — all peer hits ...
+    assert peer_warm["computed"] == 0
+    assert peer_warm["tier"]["remote_hits"] == n
+    # ... promoted to local disk, so the second pass never leaves the box.
+    assert local_warm["computed"] == 0
+    assert local_warm["tier"]["remote_hits"] == 0
+    # Bit-identical values across all three passes.
+    assert cold["values"] == peer_warm["values"] == local_warm["values"]
+    if not smoke:
+        # At full scale, fetching beats recomputing with a wide margin.
+        assert peer_warm["elapsed_s"] < cold["elapsed_s"]

@@ -8,12 +8,15 @@ Commands:
 * ``experiment`` — run a named experiment (fig03..fig14, tab02, tab03,
   ablations) and print its rows;
 * ``sweep`` — run an experiment through the parallel runtime with the
-  on-disk result cache (re-runs are incremental);
+  on-disk result cache (re-runs are incremental); ``--remote-cache URL``
+  layers a cache peer behind the local cache so machines share results;
 * ``cache`` — inspect or clear the design-point result cache (info
   includes a per-experiment breakdown and supports LRU eviction via
-  ``--budget-mb``);
+  ``--budget-mb``); ``push``/``pull`` bulk-seed a cache peer;
+* ``cache-peer`` — run an HTTP cache peer other machines point
+  ``--remote-cache`` at (LRU byte budget via ``--max-bytes``);
 * ``serve`` — run the async batched serving layer (``repro.serve``)
-  until interrupted;
+  until interrupted; also accepts ``--remote-cache URL``;
 * ``bench-serve`` — closed-loop load generator against an in-process
   server; reports p50/p99 latency, throughput, and the warm-over-cold
   speedup, optionally writing a ``BENCH_serve.json`` artifact;
@@ -26,6 +29,9 @@ Examples::
     python -m repro.cli simulate --network lenet --design ucnn-u17 --density 0.5
     python -m repro.cli experiment fig13 --network lenet
     python -m repro.cli sweep --experiment fig11 --workers 4
+    python -m repro.cli cache-peer --port 8601 --max-bytes 268435456
+    python -m repro.cli sweep --experiment fig11 --remote-cache http://peer:8601
+    python -m repro.cli cache push http://peer:8601
     python -m repro.cli cache info
     python -m repro.cli serve --workers 4 --port 8537
     python -m repro.cli bench-serve --requests 200 --verify --json BENCH_serve.json
@@ -203,13 +209,25 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run an experiment through the parallel, cached runtime."""
-    from repro.runtime import ResultCache, Runtime, using_runtime
+    """Run an experiment through the parallel, cached runtime.
+
+    With ``--remote-cache URL`` the cache tiers: local misses consult
+    the peer before computing, and fresh results are pushed back so
+    other machines pointed at the same peer skip them entirely.  The
+    peer being down, slow, or corrupt never fails the sweep — the tier
+    degrades to local-only (see ``docs/api.md``).
+    """
+    from repro.runtime import ResultCache, Runtime, TieredCache, using_runtime
 
     run, headers, kwargs = _experiment_call(args.experiment, args.network)
+    if args.no_cache and args.remote_cache:
+        raise SystemExit("--remote-cache rides the local cache; drop --no-cache")
     cache = None
     if not args.no_cache:
-        cache = ResultCache(root=args.cache_dir) if args.cache_dir else ResultCache()
+        if args.remote_cache:
+            cache = TieredCache(remote=args.remote_cache, root=args.cache_dir)
+        else:
+            cache = ResultCache(root=args.cache_dir)
     progress = None
     if args.verbose:
         def progress(event: str, label: str) -> None:
@@ -223,6 +241,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     workers = max(1, args.workers)
     where = cache.root if cache is not None else "off"
     print(f"\nsweep: {report.summary()} ({workers} worker(s), cache: {where})")
+    if isinstance(cache, TieredCache):
+        cache.close()  # drain pending pushes before reporting them
+        tier = cache.tier_stats()
+        print(f"remote tier: {tier['remote_hits']} peer hit(s), "
+              f"{tier['remote_misses']} peer miss(es), {tier['pushes']} pushed, "
+              f"{tier['remote_errors'] + tier['push_failures']} degraded "
+              f"(peer: {args.remote_cache})")
     return 0
 
 
@@ -232,11 +257,37 @@ def cmd_cache(args: argparse.Namespace) -> int:
     ``info`` prints the summary block (directory, total entries/bytes,
     code fingerprint) followed by a per-experiment table — one row per
     producing function with its entry count and bytes, largest first.
-    ``evict`` applies an LRU sweep down to ``--budget-mb``.
+    ``evict`` applies an LRU sweep down to ``--budget-mb``.  ``push``
+    and ``pull`` bulk-sync entries with a cache peer (URL argument):
+    push seeds the peer with every local entry it lacks, pull copies
+    the peer's entries into the local cache.
     """
-    from repro.runtime import ResultCache, code_fingerprint
+    from repro.runtime import HTTPPeerTier, ResultCache, code_fingerprint, pull_all, push_all
 
     cache = ResultCache(root=args.cache_dir) if args.cache_dir else ResultCache()
+    if args.action in ("push", "pull"):
+        if not args.url:
+            raise SystemExit(f"cache {args.action} requires a peer URL "
+                             f"(e.g. repro cache {args.action} http://peer:8601)")
+        # Breaker disabled for bulk sync: a mid-sync blip should fail
+        # (and count) each key honestly, not silently skip the next 5s
+        # worth of keys.  Dead peers are caught by the probe below.
+        tier = HTTPPeerTier(args.url, timeout=10.0, failure_threshold=1 << 30)
+        # Probe up front: the tier protocol itself never raises, so
+        # without this a dead peer would read as "N failed" rather
+        # than the actual problem.
+        if tier.peer_stats() is None:
+            raise SystemExit(f"cache peer {args.url} unreachable")
+        try:
+            report = push_all(cache, tier) if args.action == "push" else pull_all(cache, tier)
+        except ConnectionError as exc:
+            raise SystemExit(str(exc)) from exc
+        direction = "to" if args.action == "push" else "from"
+        print(f"{args.action} {direction} {args.url}: {report.summary()}")
+        return 1 if report.failed else 0
+    if args.url:
+        raise SystemExit(f"cache {args.action} does not take a peer URL "
+                         f"(did you mean push or pull?)")
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached design point(s) from {cache.root}")
@@ -266,21 +317,55 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache_peer(args: argparse.Namespace) -> int:
+    """Run an HTTP cache peer until interrupted.
+
+    Other machines point ``repro sweep/serve --remote-cache`` (or
+    ``repro cache push/pull``) at this process; it stores and serves
+    opaque result blobs under the content-addressed key schema, with
+    the same LRU byte-budget eviction the local cache uses.
+    """
+    from repro.runtime import CachePeer
+
+    peer = CachePeer(root=args.cache_dir, host=args.host, port=args.port,
+                     max_bytes=args.max_bytes)
+    budget = f"{args.max_bytes} bytes" if args.max_bytes is not None else "unbounded"
+    print(f"cache peer listening on http://{args.host}:{peer.port} "
+          f"(root: {peer.cache.root}, budget: {budget}); Ctrl-C to stop",
+          flush=True)
+    try:
+        peer.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        peer.stop()
+        stats = peer.stats_payload()
+        print(f"\nserved {stats['gets']} get(s): {stats['hits']} hit(s), "
+              f"{stats['misses']} miss(es), {stats['puts']} put(s); "
+              f"{stats['entries']} entr(ies) stored")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the async batched serving layer until interrupted."""
     import time
 
     from repro.serve import ServeConfig, ServerHandle
 
+    if args.no_cache and args.remote_cache:
+        raise SystemExit("--remote-cache rides the local cache; drop --no-cache")
     config = ServeConfig(
         host=args.host, port=args.port, workers=args.workers, mode=args.mode,
         max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
         cache_dir=args.cache_dir, cache_enabled=not args.no_cache,
         cache_max_bytes=(int(args.cache_budget_mb * 1024 * 1024)
                          if args.cache_budget_mb is not None else None),
+        remote_cache=args.remote_cache,
     )
     handle = ServerHandle(config).start()
     where = config.cache_dir or "default cache dir" if not args.no_cache else "off"
+    if args.remote_cache and not args.no_cache:
+        where = f"{where} + peer {args.remote_cache}"
     print(f"serving on {config.host}:{handle.port} "
           f"({config.workers} {config.mode} shard(s), cache: {where}); Ctrl-C to stop")
     try:
@@ -441,16 +526,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the on-disk result cache")
     sweep.add_argument("--cache-dir", default=None,
                        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ucnn)")
+    sweep.add_argument("--remote-cache", default=None, metavar="URL",
+                       help="cache-peer URL to tier behind the local cache "
+                            "(e.g. http://peer:8601)")
     sweep.add_argument("--verbose", action="store_true",
                        help="print per-point progress to stderr")
     sweep.set_defaults(func=cmd_sweep)
 
-    cache = sub.add_parser("cache", help="inspect, clear, or evict the result cache")
-    cache.add_argument("action", choices=("info", "clear", "evict"))
+    cache = sub.add_parser(
+        "cache", help="inspect, clear, evict, or peer-sync the result cache")
+    cache.add_argument("action", choices=("info", "clear", "evict", "push", "pull"))
+    cache.add_argument("url", nargs="?", default=None,
+                       help="cache-peer URL (required for push/pull)")
     cache.add_argument("--cache-dir", default=None)
     cache.add_argument("--budget-mb", type=float, default=None,
                        help="byte budget for 'evict' (LRU sweep down to this size)")
     cache.set_defaults(func=cmd_cache)
+
+    peer = sub.add_parser(
+        "cache-peer", help="run an HTTP cache peer for cross-machine result sharing")
+    peer.add_argument("--host", default="127.0.0.1",
+                      help="bind address; use 0.0.0.0 to serve other machines "
+                           "(default serves loopback only)")
+    peer.add_argument("--port", type=int, default=8601,
+                      help="HTTP port (0 = ephemeral, printed at startup)")
+    peer.add_argument("--cache-dir", default=None,
+                      help="blob directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ucnn)")
+    peer.add_argument("--max-bytes", type=int, default=None,
+                      help="LRU byte budget for the peer's store (default: unbounded)")
+    peer.set_defaults(func=cmd_cache_peer)
 
     serve = sub.add_parser("serve", help="run the async batched serving layer")
     serve.add_argument("--host", default="127.0.0.1")
@@ -469,6 +573,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compute every request, never consult the cache")
     serve.add_argument("--cache-budget-mb", type=float, default=None,
                        help="LRU byte budget; long-lived servers should set this")
+    serve.add_argument("--remote-cache", default=None, metavar="URL",
+                       help="cache-peer URL to tier behind the local cache")
     serve.set_defaults(func=cmd_serve)
 
     bench = sub.add_parser(

@@ -13,6 +13,13 @@ defaults to serial, uncached execution (bit-identical to the historical
 inline loops); the CLI's ``repro sweep`` and the benchmark harness
 configure workers and the cache via :func:`configure` /
 :func:`using_runtime`.
+
+The cache also tiers across machines: :class:`TieredCache` layers a
+remote :class:`CacheTier` (usually an :class:`HTTPPeerTier` talking to
+a ``repro cache-peer`` node, :class:`CachePeer`) behind the local disk,
+with read-through promotion and asynchronous push-on-put — so a fleet
+of sweep runners and serve nodes reuse each other's design points, and
+every remote failure degrades to a recorded local miss.
 """
 
 from repro.runtime.cache import (
@@ -25,6 +32,7 @@ from repro.runtime.cache import (
     code_fingerprint,
     fn_identity,
 )
+from repro.runtime.peer import CachePeer
 from repro.runtime.scheduler import (
     Runtime,
     SweepReport,
@@ -35,14 +43,31 @@ from repro.runtime.scheduler import (
     set_runtime,
     using_runtime,
 )
+from repro.runtime.tiers import (
+    CacheTier,
+    HTTPPeerTier,
+    LocalTier,
+    SyncReport,
+    TieredCache,
+    TierUnavailable,
+    pull_all,
+    push_all,
+)
 
 __all__ = [
     "CacheEntry",
+    "CachePeer",
     "CacheStats",
+    "CacheTier",
     "GroupStats",
+    "HTTPPeerTier",
+    "LocalTier",
     "ResultCache",
     "Runtime",
     "SweepReport",
+    "SyncReport",
+    "TierUnavailable",
+    "TieredCache",
     "WorkItem",
     "cache_key",
     "canonicalize",
@@ -51,6 +76,8 @@ __all__ = [
     "execute",
     "fn_identity",
     "get_runtime",
+    "pull_all",
+    "push_all",
     "set_runtime",
     "using_runtime",
 ]

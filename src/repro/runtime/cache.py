@@ -277,18 +277,76 @@ class ResultCache:
                 metadata for the per-experiment breakdown.
             label: the work item's label, kept for the same reason.
         """
+        # Serialize before any file is created: an unpicklable value
+        # raises here, with nothing on disk to clean up.
+        blob = pickle.dumps(CacheEntry(value=value, fn=fn, label=label),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        self.put_blob(key, blob)
+
+    def get_blob(self, key: str, touch: bool = True) -> bytes | None:
+        """The entry's raw on-disk bytes (the pickled :class:`CacheEntry`).
+
+        This is the unit of cross-machine transfer: tiers and the cache
+        peer ship entries as opaque blobs and never unpickle them, so a
+        peer can store results from functions it cannot import.  A read
+        refreshes the entry's mtime (LRU recency) like :meth:`get` —
+        except with ``touch=False``, which bulk sync uses so walking
+        every entry doesn't flatten the LRU ordering.
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        if touch:
+            with contextlib.suppress(OSError):
+                os.utime(path)
+        return blob
+
+    def put_blob(self, key: str, blob: bytes) -> None:
+        """Store an entry's raw bytes atomically (temp file + rename).
+
+        The write path shared by :meth:`put`, tier promotion, and the
+        cache peer.  A failed write never leaves its temp file behind —
+        concurrent :meth:`evict` sweeps must only ever see either a
+        live in-progress temp file or none at all.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # pid alone is not unique enough: two threads of one process
         # (e.g. the serve write-back executor) may put the same key
         # concurrently, and a shared temp name would interleave bytes.
         tmp = path.with_suffix(f".tmp{os.getpid()}-{next(_tmp_serial)}")
-        with tmp.open("wb") as fh:
-            pickle.dump(CacheEntry(value=value, fn=fn, label=label), fh,
-                        protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        try:
+            with tmp.open("wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            raise
         if self.max_bytes is not None and next(self._put_serial) % self.sweep_every == 0:
             self.evict()
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry for ``key`` is on disk (no read, no recency touch)."""
+        return self.path_for(key).is_file()
+
+    def iter_keys(self):
+        """Yield every stored key (sorted, for deterministic bulk sync).
+
+        Walks only the shard layout this cache owns (like
+        :meth:`clear`), so unrelated ``*.pkl`` files in a user-supplied
+        cache directory are never mistaken for entries.
+        """
+        if not self.root.is_dir():
+            return
+        shards = sorted(p for p in self.root.iterdir()
+                        if p.is_dir() and len(p.name) == 2)
+        for shard in shards:
+            for path in sorted(shard.glob("*.pkl")):
+                if len(path.stem) == 64:
+                    yield path.stem
 
     def evict(self, max_bytes: int | None = None) -> int:
         """Drop least-recently-used entries until the cache fits a budget.
@@ -343,10 +401,17 @@ class ResultCache:
         total = 0
         if self.root.is_dir():
             for path in self.root.rglob("*.pkl"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue  # concurrently evicted (e.g. under the peer)
                 entries += 1
-                total += path.stat().st_size
+                total += size
             for path in self.root.rglob("*.tmp*"):
-                total += path.stat().st_size
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue  # a concurrent writer just renamed it
         return CacheStats(root=str(self.root), entries=entries, bytes=total)
 
     def breakdown(self) -> list[GroupStats]:

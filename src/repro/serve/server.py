@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from repro.runtime.cache import MISS, ResultCache, fn_identity
+from repro.runtime.tiers import TieredCache
 from repro.serve import endpoints as endpoints_mod
 from repro.serve.batcher import MicroBatcher
 from repro.serve.protocol import (
@@ -53,6 +54,12 @@ class ServeConfig:
         cache_enabled: disable to force every request through a worker.
         cache_max_bytes: LRU byte budget for the cache (``None`` =
             unbounded).
+        remote_cache: cache-peer URL to tier behind the local cache
+            (``None`` = local-only).  Remote failures degrade to local
+            misses; they never surface to clients.
+        remote_timeout: per-operation timeout for the remote tier, in
+            seconds — bounds how long a local miss can stall on a sick
+            peer before falling through to compute.
     """
 
     host: str = "127.0.0.1"
@@ -64,6 +71,8 @@ class ServeConfig:
     cache_dir: str | None = None
     cache_enabled: bool = True
     cache_max_bytes: int | None = None
+    remote_cache: str | None = None
+    remote_timeout: float = 2.0
 
     def __post_init__(self):
         if self.workers < 1:
@@ -125,13 +134,19 @@ class Server:
 
     def __init__(self, config: ServeConfig | None = None, cache: ResultCache | None = None):
         self.config = config or ServeConfig()
+        self._owns_cache = cache is None
         if cache is not None:
             self.cache = cache
-        elif self.config.cache_enabled:
+        elif not self.config.cache_enabled:
+            self.cache = None
+        elif self.config.remote_cache:
+            self.cache = TieredCache(
+                remote=self.config.remote_cache, root=self.config.cache_dir,
+                max_bytes=self.config.cache_max_bytes,
+                remote_timeout=self.config.remote_timeout)
+        else:
             self.cache = ResultCache(
                 root=self.config.cache_dir, max_bytes=self.config.cache_max_bytes)
-        else:
-            self.cache = None
         self.stats = ServeStats()
         self.router = ShardRouter(self.config.workers)
         self.pool = ShardPool(self.config.workers, mode=self.config.mode)
@@ -148,6 +163,17 @@ class Server:
         # an un-retained shard task could be garbage-collected mid-batch
         # and leave every future in that batch unresolved.
         self._shard_tasks: set[asyncio.Task] = set()
+
+    def stats_snapshot(self) -> dict:
+        """The server counters, plus the ``tier`` sub-dict when tiered.
+
+        The one source for both the ``_stats`` wire endpoint and
+        :meth:`ServerHandle.stats`.
+        """
+        snapshot = self.stats.snapshot()
+        if isinstance(self.cache, TieredCache):
+            snapshot["tier"] = self.cache.tier_stats()
+        return snapshot
 
     async def start(self) -> None:
         """Bind the listening socket; fills in :attr:`port`."""
@@ -175,6 +201,10 @@ class Server:
         if self._shard_tasks:
             await asyncio.gather(*self._shard_tasks, return_exceptions=True)
         self.pool.shutdown()
+        if self._owns_cache and isinstance(self.cache, TieredCache):
+            # Drain pending write-backs off the loop (close blocks on
+            # the write-back worker, which may be mid-HTTP-push).
+            await asyncio.get_running_loop().run_in_executor(None, self.cache.close)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
@@ -244,7 +274,7 @@ class Server:
             if not isinstance(kwargs, dict):
                 raise ProtocolError("'kwargs' must be an object")
             if name == "_stats":
-                return self._ok(rid, self.stats.snapshot(), started)
+                return self._ok(rid, self.stats_snapshot(), started)
             if name == "_endpoints":
                 return self._ok(rid, list(endpoints_mod.endpoint_names()), started)
             if name == "ping":
@@ -267,7 +297,18 @@ class Server:
         key = None
         if self.cache is not None:
             key = self.cache.key_for(fn, kwargs)
-            value = self.cache.get(key)
+            if isinstance(self.cache, TieredCache):
+                # Local probe on-loop (one small pickle beats a thread
+                # handoff — the warm steady state must stay cheap); only
+                # the remote leg, which can block on HTTP for up to
+                # remote_timeout, goes through the executor.  2s of
+                # frozen event loop would be 2s of frozen *server*.
+                value = self.cache.get_local(key)
+                if value is MISS:
+                    value = await asyncio.get_running_loop().run_in_executor(
+                        None, self.cache.get_remote, key)
+            else:
+                value = self.cache.get(key)
             if value is not MISS:
                 self.stats.hits += 1
                 return self._ok(rid, to_jsonable(value), started, cached=True)
@@ -414,8 +455,12 @@ class ServerHandle:
         self._thread = None
 
     def stats(self) -> dict:
-        """Snapshot of the server's counters (thread-safe read)."""
-        return self.server.stats.snapshot()
+        """Snapshot of the server's counters (thread-safe read).
+
+        Includes the ``tier`` sub-dict when the server runs a
+        :class:`~repro.runtime.tiers.TieredCache`.
+        """
+        return self.server.stats_snapshot()
 
     def __enter__(self) -> ServerHandle:
         return self.start()

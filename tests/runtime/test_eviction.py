@@ -2,8 +2,11 @@
 
 import os
 import pickle
+import threading
 
-from repro.runtime import ResultCache, Runtime, WorkItem
+import pytest
+
+from repro.runtime import ResultCache, Runtime, TieredCache, WorkItem
 from repro.runtime.cache import MISS, CacheEntry
 
 
@@ -90,6 +93,127 @@ class TestEviction:
         assert not stale.exists()
         assert fresh.exists()  # may be a live writer: spared
         assert cache.get(key) == 1
+
+
+class TestPutEvictRace:
+    """Regression: concurrent put + evict must never leave temp litter.
+
+    A failed or interrupted ``put`` used to leave its ``.tmp*`` file
+    behind until the stale-file sweep (5 minutes later); under a
+    put/evict race that litter both inflated ``stats()`` and risked
+    being mistaken for a live write.  ``put_blob`` now unlinks its temp
+    file on any failure, so the only ``.tmp*`` files ever on disk
+    belong to writes in flight *right now*.
+    """
+
+    def test_failed_put_leaves_no_tmp_file(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        with pytest.raises(Exception):  # unpicklable value  # noqa: B017
+            cache.put("a" * 64, lambda: 1)
+        assert list(tmp_path.rglob("*.tmp*")) == []
+        assert cache.stats().entries == 0
+
+    def test_failed_write_leaves_no_tmp_file(self, tmp_path):
+        """An OS-level write failure (here: injected) also self-cleans."""
+        cache = ResultCache(root=tmp_path)
+        original = os.replace
+
+        def exploding_replace(src, dst):
+            raise OSError("injected: disk full")
+
+        os.replace = exploding_replace
+        try:
+            with pytest.raises(OSError, match="disk full"):
+                cache.put("b" * 64, 123)
+        finally:
+            os.replace = original
+        assert list(tmp_path.rglob("*.tmp*")) == []
+
+    def test_threaded_put_evict_hammer(self, tmp_path):
+        """Writers and evictors hammer the same keys; no litter survives."""
+        cache = ResultCache(root=tmp_path)
+        keys = [f"{i:064d}" for i in range(8)]
+        errors = []
+        stop = threading.Event()
+
+        def writer(seed: int) -> None:
+            try:
+                for i in range(120):
+                    cache.put(keys[(seed + i) % len(keys)], b"x" * 256)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        def evictor() -> None:
+            try:
+                while not stop.is_set():
+                    cache.evict(max_bytes=0)  # evict everything, repeatedly
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        writers = [threading.Thread(target=writer, args=(s,)) for s in range(4)]
+        evictors = [threading.Thread(target=evictor) for _ in range(2)]
+        for t in evictors + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in evictors:
+            t.join()
+        assert errors == []
+        # No dangling temp file, whatever interleaving happened ...
+        assert list(tmp_path.rglob("*.tmp*")) == []
+        # ... and every surviving entry is intact (readable, right value).
+        for key in keys:
+            value = cache.get(key)
+            assert value is MISS or value == b"x" * 256
+
+    def test_tiered_writeback_put_evict_hammer(self, tmp_path):
+        """Same hammer through TieredCache's async write-back path."""
+
+        class NullTier:
+            def get_blob(self, key):
+                return None
+
+            def put_blob(self, key, blob):
+                return True
+
+            def contains(self, key):
+                return False
+
+        cache = TieredCache(remote=NullTier(), root=tmp_path, fingerprint="t",
+                            negative_ttl=0.0)
+        keys = [f"{i:064d}" for i in range(6)]
+        stop = threading.Event()
+        errors = []
+
+        def writer(seed: int) -> None:
+            try:
+                for i in range(60):
+                    key = keys[(seed + i) % len(keys)]
+                    cache.put(key, b"y" * 128)
+                    cache.get(key)  # may race the evictor: MISS is fine
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def evictor() -> None:
+            try:
+                while not stop.is_set():
+                    cache.evict(max_bytes=0)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(s,)) for s in range(3)]
+        sweeper = threading.Thread(target=evictor)
+        sweeper.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        cache.close()  # drains pending promotions/pushes
+        stop.set()
+        sweeper.join()
+        assert errors == []
+        assert list(tmp_path.rglob("*.tmp*")) == []
 
 
 class TestEntryMetadata:

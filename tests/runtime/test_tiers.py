@@ -1,0 +1,384 @@
+"""Tests for the tiered cache: read-through, promotion, peer sharing.
+
+The happy-path half of the tier story (the fault half lives in
+``test_tiers_faults.py``): local hits stay local, remote hits promote,
+negative lookups memoize, concurrent fetches single-flight, and two
+"machines" (distinct cache directories) sharing one peer reuse each
+other's design points bit-identically.
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CachePeer,
+    HTTPPeerTier,
+    LocalTier,
+    ResultCache,
+    Runtime,
+    TieredCache,
+    WorkItem,
+    pull_all,
+    push_all,
+)
+from repro.runtime.cache import MISS, CacheEntry
+
+
+def _point(x: int) -> dict:
+    return {"arr": np.arange(x), "sq": x * x}
+
+
+def _entry_blob(value: object) -> bytes:
+    return pickle.dumps(CacheEntry(value=value), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class RecordingTier:
+    """In-memory tier that counts every protocol call."""
+
+    def __init__(self, blobs: dict | None = None, delay: float = 0.0):
+        self.blobs = dict(blobs or {})
+        self.delay = delay
+        self.calls = {"get": 0, "put": 0, "contains": 0}
+        self._lock = threading.Lock()
+
+    def get_blob(self, key):
+        with self._lock:
+            self.calls["get"] += 1
+        if self.delay:
+            import time
+
+            time.sleep(self.delay)
+        return self.blobs.get(key)
+
+    def put_blob(self, key, blob):
+        with self._lock:
+            self.calls["put"] += 1
+            self.blobs[key] = blob
+        return True
+
+    def contains(self, key):
+        with self._lock:
+            self.calls["contains"] += 1
+        return key in self.blobs
+
+
+@pytest.fixture
+def peer(tmp_path):
+    with CachePeer(root=tmp_path / "peer") as running:
+        yield running
+
+
+class TestLocalTier:
+    def test_blob_roundtrip(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        tier = LocalTier(cache)
+        assert tier.get_blob("a" * 64) is None
+        assert not tier.contains("a" * 64)
+        assert tier.put_blob("a" * 64, _entry_blob(7))
+        assert tier.contains("a" * 64)
+        assert tier.get_blob("a" * 64) == _entry_blob(7)
+        assert cache.get("a" * 64) == 7  # same bytes the cache reads
+
+    def test_blob_is_the_on_disk_representation(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put("b" * 64, {"v": 1}, fn="f", label="l")
+        blob = LocalTier(cache).get_blob("b" * 64)
+        entry = pickle.loads(blob)
+        assert entry.value == {"v": 1} and entry.fn == "f" and entry.label == "l"
+
+
+class TestTieredReadPath:
+    def test_local_hit_never_touches_remote(self, tmp_path):
+        remote = RecordingTier()
+        cache = TieredCache(remote=remote, root=tmp_path, fingerprint="t")
+        cache.put("a" * 64, 42)
+        cache.drain()
+        remote.calls["put"] = 0  # ignore the push
+        assert cache.get("a" * 64) == 42
+        assert remote.calls["get"] == 0
+
+    def test_remote_hit_returns_and_promotes(self, tmp_path):
+        key = "c" * 64
+        remote = RecordingTier({key: _entry_blob({"v": 9})})
+        cache = TieredCache(remote=remote, root=tmp_path, fingerprint="t")
+        assert cache.get(key) == {"v": 9}
+        cache.drain()
+        assert cache.contains(key)  # promoted to local disk
+        assert cache.get(key) == {"v": 9}
+        assert remote.calls["get"] == 1  # second read was local
+        stats = cache.tier_stats()
+        assert stats["remote_hits"] == 1 and stats["promotions"] == 1
+        cache.close()
+
+    def test_raw_legacy_blob_promotes_too(self, tmp_path):
+        """A peer may hold pre-CacheEntry pickles; they still read."""
+        key = "d" * 64
+        remote = RecordingTier({key: pickle.dumps([1, 2, 3])})
+        cache = TieredCache(remote=remote, root=tmp_path, fingerprint="t")
+        assert cache.get(key) == [1, 2, 3]
+        cache.close()
+
+    def test_negative_lookup_is_memoized(self, tmp_path):
+        remote = RecordingTier()
+        cache = TieredCache(remote=remote, root=tmp_path, fingerprint="t")
+        key = "e" * 64
+        assert cache.get(key) is MISS
+        assert cache.get(key) is MISS
+        assert cache.get(key) is MISS
+        assert remote.calls["get"] == 1  # one round-trip, two memo hits
+        assert cache.tier_stats()["negative_hits"] == 2
+        cache.close()
+
+    def test_put_clears_the_negative_memo(self, tmp_path):
+        remote = RecordingTier()
+        cache = TieredCache(remote=remote, root=tmp_path, fingerprint="t")
+        key = cache.key_for(_point, {"x": 2})
+        assert cache.get(key) is MISS
+        cache.put(key, _point(2))
+        assert cache.get(key)["sq"] == 4
+        cache.close()
+
+    def test_concurrent_fetches_single_flight(self, tmp_path):
+        key = "f" * 64
+        remote = RecordingTier({key: _entry_blob(5)}, delay=0.15)
+        cache = TieredCache(remote=remote, root=tmp_path, fingerprint="t")
+        results = []
+        threads = [threading.Thread(target=lambda: results.append(cache.get(key)))
+                   for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [5] * 6
+        assert remote.calls["get"] == 1  # one fetch, five coalesced
+        assert cache.tier_stats()["coalesced_fetches"] == 5
+        cache.close()
+
+    def test_put_pushes_asynchronously(self, tmp_path):
+        remote = RecordingTier()
+        cache = TieredCache(remote=remote, root=tmp_path, fingerprint="t")
+        key = cache.key_for(_point, {"x": 4})
+        cache.put(key, _point(4), fn="f", label="l")
+        cache.drain()
+        assert remote.contains(key)
+        # The pushed blob carries the full entry, metadata included.
+        entry = pickle.loads(remote.blobs[key])
+        assert entry.fn == "f" and entry.label == "l"
+        assert cache.tier_stats()["pushes"] == 1
+        cache.close()
+
+
+class TestHTTPPeerTier:
+    def test_roundtrip_over_http(self, peer):
+        tier = HTTPPeerTier(peer.url)
+        key = "a" * 64
+        assert tier.get_blob(key) is None
+        assert not tier.contains(key)
+        blob = _entry_blob({"x": 1})
+        assert tier.put_blob(key, blob)
+        assert tier.contains(key)
+        assert tier.get_blob(key) == blob
+        assert tier.keys() == [key]
+        stats = tier.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["errors"] == 0
+
+    def test_proxy_env_vars_are_ignored(self, peer, monkeypatch):
+        """Peer traffic is intra-fleet; http_proxy must never swallow it
+        (fail-open would hide the misrouting as eternal misses)."""
+        monkeypatch.setenv("http_proxy", "http://127.0.0.1:1")
+        monkeypatch.setenv("HTTP_PROXY", "http://127.0.0.1:1")
+        monkeypatch.delenv("no_proxy", raising=False)
+        tier = HTTPPeerTier(peer.url, timeout=2.0)
+        assert tier.put_blob("e" * 64, _entry_blob(3))
+        assert tier.get_blob("e" * 64) == _entry_blob(3)
+        assert tier.stats()["errors"] == 0
+
+    def test_peer_rejects_malformed_keys(self, peer):
+        import urllib.error
+        import urllib.request
+
+        for path in ("/cache/shortkey", "/cache/" + "Z" * 64, "/nope"):
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(peer.url + path, timeout=5.0)
+
+    def test_peer_rejects_negative_content_length(self, peer):
+        """A lying Content-Length must not pin a handler thread."""
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", peer.port, timeout=5.0)
+        try:
+            conn.putrequest("PUT", "/cache/" + "a" * 64)
+            conn.putheader("Content-Length", "-1")
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+        finally:
+            conn.close()
+
+    def test_peer_oversize_put_closes_the_connection(self, peer):
+        """Refusing before the body is read must hang up, not desync."""
+        import http.client
+
+        from repro.runtime.tiers import MAX_BLOB_BYTES
+
+        conn = http.client.HTTPConnection("127.0.0.1", peer.port, timeout=5.0)
+        try:
+            conn.putrequest("PUT", "/cache/" + "a" * 64)
+            conn.putheader("Content-Length", str(MAX_BLOB_BYTES + 1))
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 413
+            response.read()
+            # The server hung up (the unread body would otherwise parse
+            # as the next request); a fresh request needs a reconnect.
+            assert response.will_close
+        finally:
+            conn.close()
+
+    def test_peer_rejects_checksum_mismatch_on_put(self, peer):
+        import urllib.error
+        import urllib.request
+
+        from repro.runtime.tiers import CHECKSUM_HEADER
+
+        request = urllib.request.Request(
+            peer.url + "/cache/" + "b" * 64, data=b"payload", method="PUT",
+            headers={CHECKSUM_HEADER: "0" * 64})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 400
+        assert not peer.cache.contains("b" * 64)
+
+    def test_peer_store_is_a_plain_cache_dir(self, peer, tmp_path):
+        """The peer's directory is interchangeable with any cache dir."""
+        tier = HTTPPeerTier(peer.url)
+        tier.put_blob("c" * 64, _entry_blob("shared"))
+        assert peer.cache.get("c" * 64) == "shared"
+
+    def test_peer_stats_endpoint(self, peer):
+        tier = HTTPPeerTier(peer.url)
+        tier.put_blob("d" * 64, _entry_blob(1))
+        stats = tier.peer_stats()
+        assert stats["entries"] == 1 and stats["puts"] == 1
+
+
+class TestBulkSync:
+    def test_iter_keys_ignores_unrelated_pkl_files(self, tmp_path):
+        """A user-supplied --cache-dir may hold foreign .pkl files;
+        push must not try to send their stems as keys."""
+        cache = ResultCache(root=tmp_path, fingerprint="t")
+        key = cache.key_for(_point, {"x": 1})
+        cache.put(key, _point(1))
+        (tmp_path / "notes.pkl").write_bytes(b"unrelated")
+        (tmp_path / "ab").mkdir(exist_ok=True)
+        (tmp_path / "ab" / "shortname.pkl").write_bytes(b"also unrelated")
+        assert list(cache.iter_keys()) == [key]
+        report = push_all(cache, RecordingTier())
+        assert report.copied == 1 and report.failed == 0
+
+    def test_push_then_pull_roundtrip(self, peer, tmp_path):
+        source = ResultCache(root=tmp_path / "src", fingerprint="t")
+        for i in range(4):
+            source.put(source.key_for(_point, {"x": i}), _point(i))
+        tier = HTTPPeerTier(peer.url)
+        report = push_all(source, tier)
+        assert report.copied == 4 and report.failed == 0
+        # Second push skips everything.
+        assert push_all(source, tier).skipped == 4
+        target = ResultCache(root=tmp_path / "dst", fingerprint="t")
+        report = pull_all(target, tier)
+        assert report.copied == 4
+        for i in range(4):
+            value = target.get(target.key_for(_point, {"x": i}))
+            assert value["sq"] == i * i
+            assert np.array_equal(value["arr"], np.arange(i))
+
+    def test_pull_rejects_traversal_keys_from_a_hostile_peer(self, tmp_path):
+        """Peer-supplied keys must never steer writes outside the root."""
+
+        class HostileTier(RecordingTier):
+            def keys(self):
+                return ["../../escape", "a/../../b", "A" * 64,
+                        "f" * 63, "f" * 64]
+
+        hostile = HostileTier({"f" * 64: _entry_blob(1)})
+        root = tmp_path / "victim"
+        report = pull_all(ResultCache(root=root), hostile)
+        assert report.copied == 1  # only the well-formed key
+        assert report.failed == 4  # every malformed "key" rejected
+        assert not (tmp_path / "escape.pkl").exists()
+        assert not (tmp_path / "b.pkl").exists()
+        # Nothing outside the cache root was created.
+        outside = [p for p in tmp_path.rglob("*") if not str(p).startswith(str(root))]
+        assert outside == []
+
+    def test_push_does_not_flatten_lru_recency(self, tmp_path):
+        """Bulk sync reads every entry; mtimes must survive untouched."""
+        import os
+
+        cache = ResultCache(root=tmp_path, fingerprint="t")
+        key = cache.key_for(_point, {"x": 9})
+        cache.put(key, _point(9))
+        path = cache.path_for(key)
+        old = path.stat().st_mtime - 5000
+        os.utime(path, (old, old))
+        push_all(cache, RecordingTier())
+        assert path.stat().st_mtime == old  # still the LRU-coldest entry
+
+    def test_pull_from_dead_peer_raises_cleanly(self, tmp_path):
+        with CachePeer(root=tmp_path / "p") as peer:
+            url = peer.url
+        tier = HTTPPeerTier(url, timeout=0.2)
+        with pytest.raises(ConnectionError, match="unreachable"):
+            pull_all(ResultCache(root=tmp_path / "d"), tier)
+
+
+class TestTwoMachineDemo:
+    """The acceptance scenario: two machines, one peer, zero recompute."""
+
+    def test_machine_b_recomputes_nothing(self, peer, tmp_path):
+        items = [WorkItem(fn=_point, kwargs={"x": i}, label=f"p{i}") for i in range(8)]
+
+        cache_a = TieredCache(remote=peer.url, root=tmp_path / "a", fingerprint="t")
+        machine_a = Runtime(cache=cache_a)
+        results_a = machine_a.execute(items)
+        assert machine_a.last_report.misses == 8
+        cache_a.close()  # drain pushes: A's results are on the peer now
+
+        cache_b = TieredCache(remote=peer.url, root=tmp_path / "b", fingerprint="t")
+        machine_b = Runtime(cache=cache_b)
+        results_b = machine_b.execute(items)
+        cache_b.close()
+
+        # Machine B ran ZERO design points: every value came from the peer.
+        assert machine_b.last_report.misses == 0
+        assert machine_b.last_report.hits == 8
+        assert cache_b.tier_stats()["remote_hits"] == 8
+        # ... and the results are bit-identical to machine A's.
+        for va, vb in zip(results_a, results_b):
+            assert va["sq"] == vb["sq"]
+            assert np.array_equal(va["arr"], vb["arr"])
+            assert va["arr"].dtype == vb["arr"].dtype
+
+    def test_serve_and_sweep_share_one_peer(self, peer, tmp_path):
+        """A sweep's results warm a serve node on another 'machine'."""
+        from repro.serve import ServeClient, ServeConfig, ServerHandle
+        from repro.serve.endpoints import runtime_point
+
+        kwargs = {"network": "lenet", "group_size": 2, "density": 0.45}
+        sweep_cache = TieredCache(remote=peer.url, root=tmp_path / "sweep")
+        sweep = Runtime(cache=sweep_cache)
+        direct = sweep.submit(runtime_point, **kwargs)
+        sweep_cache.close()
+
+        config = ServeConfig(port=0, workers=1, mode="thread",
+                             cache_dir=str(tmp_path / "node"),
+                             remote_cache=peer.url)
+        with ServerHandle(config) as handle:
+            with ServeClient(port=handle.port) as client:
+                response = client.request("runtime_point", **kwargs)
+        assert response.cached  # peer hit on the serve node's first request
+        assert response.value == direct

@@ -146,6 +146,80 @@ class TestCache:
             main(["cache", "evict", "--cache-dir", str(tmp_path)])
 
 
+class TestRemoteCache:
+    def test_push_pull_require_url(self, tmp_path):
+        with pytest.raises(SystemExit, match="requires a peer URL"):
+            main(["cache", "push", "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit, match="requires a peer URL"):
+            main(["cache", "pull", "--cache-dir", str(tmp_path)])
+
+    def test_push_pull_to_unreachable_peer_fail_cleanly(self, tmp_path):
+        for action in ("push", "pull"):
+            with pytest.raises(SystemExit, match="unreachable"):
+                main(["cache", action, "http://127.0.0.1:9",
+                      "--cache-dir", str(tmp_path)])
+
+    def test_url_rejected_for_local_actions(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not take a peer URL"):
+            main(["cache", "clear", "http://peer:8601", "--cache-dir", str(tmp_path)])
+
+    def test_no_cache_with_remote_cache_rejected(self):
+        with pytest.raises(SystemExit, match="drop --no-cache"):
+            main(["sweep", "--experiment", "tab02", "--no-cache",
+                  "--remote-cache", "http://peer:8601"])
+        with pytest.raises(SystemExit, match="drop --no-cache"):
+            main(["serve", "--port", "0", "--no-cache",
+                  "--remote-cache", "http://peer:8601"])
+
+    def test_cache_peer_parser_accepts_flags(self):
+        args = build_parser().parse_args(
+            ["cache-peer", "--port", "0", "--max-bytes", "1048576"])
+        assert args.port == 0 and args.max_bytes == 1048576
+
+    def test_sweep_shares_results_through_a_peer(self, tmp_path, capsys):
+        """Two sweeps, two cache dirs, one peer: B recomputes nothing."""
+        from repro.runtime import CachePeer
+
+        with CachePeer(root=tmp_path / "peer") as peer:
+            argv_a = ["sweep", "--experiment", "tab02",
+                      "--cache-dir", str(tmp_path / "a"), "--remote-cache", peer.url]
+            assert main(argv_a) == 0
+            out_a = capsys.readouterr().out
+            assert "0 cached, 6 ran" in out_a
+            assert "6 pushed" in out_a
+            argv_b = ["sweep", "--experiment", "tab02",
+                      "--cache-dir", str(tmp_path / "b"), "--remote-cache", peer.url]
+            assert main(argv_b) == 0
+            out_b = capsys.readouterr().out
+            assert "6 cached, 0 ran" in out_b
+            assert "6 peer hit(s)" in out_b
+
+    def test_sweep_with_dead_peer_still_completes(self, tmp_path, capsys):
+        from repro.runtime import CachePeer
+
+        with CachePeer(root=tmp_path / "peer") as peer:
+            dead_url = peer.url
+        argv = ["sweep", "--experiment", "tab02",
+                "--cache-dir", str(tmp_path / "a"), "--remote-cache", dead_url]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cached, 6 ran" in out  # computed locally, no error
+
+    def test_push_then_pull_roundtrip(self, tmp_path, capsys):
+        from repro.runtime import CachePeer, ResultCache
+
+        assert main(["sweep", "--experiment", "tab02",
+                     "--cache-dir", str(tmp_path / "a")]) == 0
+        with CachePeer(root=tmp_path / "peer") as peer:
+            assert main(["cache", "push", peer.url,
+                         "--cache-dir", str(tmp_path / "a")]) == 0
+            assert main(["cache", "pull", peer.url,
+                         "--cache-dir", str(tmp_path / "b")]) == 0
+            out = capsys.readouterr().out
+            assert "6 copied" in out
+        assert ResultCache(root=tmp_path / "b").stats().entries == 6
+
+
 class TestServe:
     def test_serve_parser_accepts_flags(self):
         args = build_parser().parse_args(
