@@ -1,9 +1,14 @@
 """Micro-benchmarks of the core primitives (genuine timing runs).
 
 These exercise the hot paths the experiments lean on — table
-construction, table execution, the analytic layer aggregate, and the
-dense reference — with real pytest-benchmark statistics (multiple
-rounds), complementing the run-once experiment benches.
+construction, table execution, the compiled engine, the analytic layer
+aggregate, and the dense reference — with real pytest-benchmark
+statistics (multiple rounds), complementing the run-once experiment
+benches.  The engine-vs-per-entry-vs-dense trio times the *same* layer
+forward three ways, and ``test_engine_speedup_gate`` fails the run
+outright if the compiled segment scan is not at least
+:data:`ENGINE_MIN_SPEEDUP` times the per-entry walk — the regression
+floor the nightly ``BENCH_kernels.json`` artifact tracks.
 
 Under ``REPRO_BENCH_SMOKE=1`` the layer shrinks so nightly CI can emit a
 ``--benchmark-json`` artifact in seconds; the JSON still covers every
@@ -18,7 +23,9 @@ from repro.arch.config import ucnn_config
 from repro.core.factorized import FactorizedConv
 from repro.core.hierarchical import build_filter_group_tables
 from repro.core.indirection import factorize_filter
-from repro.nn.reference import conv2d_im2col
+from repro.engine import execute_program
+from repro.experiments.common import best_of
+from repro.nn.reference import conv2d_im2col, im2col
 from repro.nn.tensor import ConvShape
 from repro.quant.distributions import uniform_unique_weights
 from repro.sim.analytic import ucnn_layer_aggregate
@@ -29,6 +36,9 @@ SHAPE = (
     if smoke_mode()
     else ConvShape(name="bench", w=16, h=16, c=64, k=32, r=3, s=3, padding=1)
 )
+
+#: The smoke gate: compiled engine vs per-entry walk on the bench shape.
+ENGINE_MIN_SPEEDUP = 20.0
 
 
 @pytest.fixture(scope="module")
@@ -74,3 +84,63 @@ def test_bench_factorized_conv_forward(benchmark, layer_weights):
     inputs = RNG.integers(-8, 9, size=(16, 10, 10))
     out = benchmark(conv.forward_fast, inputs)
     assert out.shape[0] == 8
+
+
+# ----------------------------------------------------------------------
+# Engine vs per-entry vs dense: the same layer forward, three ways.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def bench_conv(layer_weights):
+    return FactorizedConv(layer_weights, group_size=2, padding=SHAPE.padding)
+
+
+@pytest.fixture(scope="module")
+def bench_inputs():
+    return RNG.integers(-8, 9, size=SHAPE.input_shape.as_tuple())
+
+
+def _per_entry_walk(conv, cols):
+    """The ground-truth walk over pre-unfolded columns (no im2col cost)."""
+    out = np.empty((conv.num_filters, cols.shape[1]), dtype=np.int64)
+    for group_idx, tables in enumerate(conv.groups):
+        start = group_idx * conv.group_size
+        for w_idx in range(cols.shape[1]):
+            out[start : start + tables.num_filters, w_idx] = tables.execute(cols[:, w_idx])
+    return out
+
+
+def test_bench_engine_layer_forward(benchmark, bench_conv, bench_inputs):
+    out = benchmark(bench_conv.forward, bench_inputs)
+    assert np.array_equal(out, conv2d_im2col(bench_inputs, bench_conv.weights, 1, SHAPE.padding))
+
+
+def test_bench_per_entry_walk(benchmark, bench_conv, bench_inputs):
+    cols = im2col(bench_inputs.astype(np.int64), SHAPE.r, SHAPE.s, 1, SHAPE.padding)
+    # Per-entry is ~3 orders slower; walk a slice of the windows so the
+    # bench stays affordable while still timing the real loop.
+    sample = cols[:, : max(8, cols.shape[1] // 16)]
+    out = benchmark.pedantic(_per_entry_walk, args=(bench_conv, sample), rounds=1, iterations=1)
+    assert np.array_equal(out, bench_conv.weights.reshape(bench_conv.num_filters, -1) @ sample)
+
+
+def test_engine_speedup_gate(bench_conv, bench_inputs):
+    """Regression floor: engine >= 20x the per-entry walk, same windows."""
+    cols = im2col(bench_inputs.astype(np.int64), SHAPE.r, SHAPE.s, 1, SHAPE.padding)
+    sample = min(cols.shape[1], 64)
+    sample_windows = np.ascontiguousarray(cols[:, :sample].T)
+    execute_program(bench_conv.program, sample_windows)  # warm the caches
+    # Both sides timed directly on the identical window sample — no
+    # extrapolation that would amortize the engine's per-call overhead.
+    t_engine = best_of(lambda: execute_program(bench_conv.program, sample_windows))
+    t_walk = best_of(lambda: _per_entry_walk(bench_conv, cols[:, :sample]), repeats=1)
+    speedup = t_walk / t_engine
+    print(
+        f"\nengine speedup gate [{SHAPE.name}]: per-entry {t_walk * 1e3:.1f} ms "
+        f"vs engine {t_engine * 1e3:.3f} ms over {sample} windows -> {speedup:.0f}x"
+    )
+    assert speedup >= ENGINE_MIN_SPEEDUP, (
+        f"engine only {speedup:.1f}x over the per-entry walk "
+        f"(floor {ENGINE_MIN_SPEEDUP}x on shape {SHAPE.name})"
+    )

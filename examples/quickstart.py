@@ -3,14 +3,19 @@
 Runs a small convolutional layer three ways —
 
 1. dense reference (numpy im2col),
-2. UCNN dot-product factorization (G = 1),
-3. UCNN activation-group reuse (G = 2 filters sharing one table),
+2. UCNN per-entry table walk (the datapath's ground truth),
+3. UCNN compiled engine (the table program, executed as one segment
+   scan over every output position),
 
-verifies all outputs are bit-identical, and prints the arithmetic / memory
-savings that weight repetition buys (the paper's Section III story).
+verifies all outputs are bit-identical, and prints the arithmetic /
+memory savings that weight repetition buys (the paper's Section III
+story) next to the *measured* wall-clock speedup the compiled engine
+gets from exploiting them.
 
 Run:  python examples/quickstart.py
 """
+
+import time
 
 import numpy as np
 
@@ -30,15 +35,28 @@ print(f"quantized layer: U = {weights.num_unique} unique weights, "
 inputs = rng.integers(-64, 64, size=(32, 14, 14))
 reference = conv2d_im2col(inputs, weights.values, stride=1, padding=1)
 
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
 for group_size in (1, 2):
     conv = FactorizedConv(weights.values, group_size=group_size, padding=1)
-    outputs = conv.forward(inputs)
-    assert np.array_equal(outputs, reference), "factorized != dense!"
+    walk_out, walk_s = timed(conv.forward_per_entry, inputs)
+    conv.forward(inputs)  # warm the compiled program path
+    engine_out, engine_s = timed(conv.forward, inputs)
+    assert np.array_equal(engine_out, reference), "engine != dense!"
+    assert np.array_equal(walk_out, reference), "table walk != dense!"
     counts = conv.op_counts(out_positions=14 * 14)
-    print(f"\nUCNN G={group_size}: bit-exact with the dense reference")
+    print(f"\nUCNN G={group_size}: engine and per-entry walk bit-exact vs dense")
     print(f"  multiplies    {counts.multiplies:>10,}  (dense {counts.dense_multiplies:,},"
           f" {counts.multiply_savings:.1f}x fewer)")
     print(f"  input reads   {counts.input_reads:>10,}  (G filters share each read)")
     print(f"  weight reads  {counts.weight_reads:>10,}  (dense {counts.dense_multiplies:,})")
+    print(f"  measured      {walk_s * 1e3:>8.1f} ms per-entry walk -> "
+          f"{engine_s * 1e3:.2f} ms compiled engine ({walk_s / engine_s:.0f}x faster)")
 
-print("\nDone — weight repetition turned most multiplies into adds.")
+print("\nDone — weight repetition turned most multiplies into adds, and the")
+print("compiled segment scan turned the factorized walk into the fast path.")

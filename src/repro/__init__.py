@@ -20,6 +20,12 @@ This package contains a complete software reproduction of the paper:
     activation groups, input/weight indirection tables, hierarchical
     activation-group reuse across G filters, skip-entry handling, jump
     table compression, and model-size accounting.
+``repro.engine``
+    The compiled execution layer: an offline compiler lowering each
+    filter group's tables into a flat table program, plus a vectorized
+    segment-scan executor that evaluates all windows and all filter
+    groups of a layer at once — bit-exact against the per-entry walk
+    and orders of magnitude faster (the factorized fast path).
 ``repro.arch``
     Chip-level architecture: hardware configurations (Table II), SRAM
     buffers, banked spatial vectorization, NoC, DRAM traffic, and the

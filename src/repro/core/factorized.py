@@ -3,10 +3,13 @@
 :class:`FactorizedDotProduct` wraps a group of filters' shared tables and
 evaluates them against input windows.  :class:`FactorizedConv` runs an
 entire convolutional layer through the factorized path — grouping the K
-filters into ``ceil(K/G)`` table groups, im2col-ing the input, and walking
-the tables per output position — producing outputs that are bit-exact
+filters into ``ceil(K/G)`` table groups, im2col-ing the input, and
+executing the layer's compiled table program (:mod:`repro.engine`) over
+every output position at once — producing outputs that are bit-exact
 against :func:`repro.nn.reference.conv2d_im2col` while reporting the
-arithmetic savings UCNN realizes.
+arithmetic savings UCNN realizes.  The per-entry table walk survives as
+:meth:`FactorizedConv.forward_per_entry`, the semantic ground truth the
+engine is tested against.
 
 This is the *algorithmic* layer of the reproduction: no hardware timing,
 just the math and the operation counts.  Cycle/energy accounting lives in
@@ -19,9 +22,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.activation_groups import canonical_weight_order
 from repro.core.hierarchical import FilterGroupTables, TableStats, build_filter_group_tables
 from repro.core.indirection import DEFAULT_MAX_GROUP_SIZE
+from repro.engine import TableProgram, compiled_layer_for, execute_program
 from repro.nn.reference import im2col
 from repro.nn.tensor import conv_output_hw
 
@@ -109,6 +112,11 @@ class FactorizedConv:
     each share one hierarchically sorted table (built offline, reused for
     every filter slide — the reuse that makes spatial vectorization pay).
 
+    The layer is lowered once (offline) into a compiled
+    :class:`~repro.engine.TableProgram` — memoized process-wide per
+    (weights fingerprint, G, max_group_size), so sweeps that rebuild the
+    same layer reuse both the tables and the program.
+
     Args:
         weights: ``(K, C, R, S)`` integer weight tensor.
         group_size: G, filters per shared table (Table I).
@@ -129,7 +137,13 @@ class FactorizedConv:
         max_group_size: int = DEFAULT_MAX_GROUP_SIZE,
         layer_canonical: bool = True,
     ):
-        weights = np.asarray(weights, dtype=np.int64)
+        weights = np.asarray(weights)
+        if weights.dtype.kind not in "iub":
+            raise ValueError(
+                f"FactorizedConv requires integer weights (got dtype {weights.dtype}); "
+                "quantize first instead of relying on truncation"
+            )
+        weights = weights.astype(np.int64)
         if weights.ndim != 4:
             raise ValueError("weights must be (K, C, R, S)")
         if group_size < 1:
@@ -138,58 +152,82 @@ class FactorizedConv:
         self.group_size = group_size
         self.stride = stride
         self.padding = padding
-        k = weights.shape[0]
-        flat = weights.reshape(k, -1)
-        canonical = canonical_weight_order(flat) if layer_canonical else None
-        self.canonical = canonical
-        self.groups: list[FilterGroupTables] = []
-        for start in range(0, k, group_size):
-            chunk = flat[start : start + group_size]
-            self.groups.append(
-                build_filter_group_tables(chunk, canonical=canonical, max_group_size=max_group_size)
-            )
+        self.max_group_size = max_group_size
+        compiled = compiled_layer_for(
+            weights,
+            group_size=group_size,
+            max_group_size=max_group_size,
+            layer_canonical=layer_canonical,
+        )
+        self.canonical = compiled.canonical
+        self.groups: list[FilterGroupTables] = list(compiled.groups)
+        self.program: TableProgram = compiled.program
 
     @property
     def num_filters(self) -> int:
         """K — output channels."""
         return int(self.weights.shape[0])
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Run the convolution through the factorized per-entry path.
+    def _columns(self, inputs: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Validate inputs and unfold them into im2col columns."""
+        inputs = np.asarray(inputs)
+        k, c, r, s = self.weights.shape
+        if inputs.ndim != 3 or inputs.shape[0] != c:
+            got = inputs.shape[0] if inputs.ndim == 3 else inputs.shape
+            raise ValueError(f"channel mismatch: input C={got}, weights C={c}")
+        if inputs.dtype.kind not in "iub":
+            raise ValueError(
+                f"FactorizedConv requires integer inputs (got dtype {inputs.dtype}); "
+                "quantize activations explicitly instead of relying on truncation"
+            )
+        out_h, out_w = conv_output_hw(inputs.shape[1], inputs.shape[2], r, s, self.stride, self.padding)
+        # im2col uses the same (c, r, s) flattening order as the tables.
+        cols = im2col(inputs.astype(np.int64), r, s, self.stride, self.padding)
+        return cols, out_h, out_w
 
-        Bit-exact against the dense im2col reference on integer inputs.
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the convolution through the compiled factorized path.
+
+        Executes the layer's table program over every output position at
+        once; bit-exact against both the per-entry table walk
+        (:meth:`forward_per_entry`) and the dense im2col reference.
 
         Args:
             inputs: ``(C, H, W)`` integer activation tensor.
 
         Returns:
             ``(K, out_h, out_w)`` int64 outputs.
+
+        Raises:
+            ValueError: on channel mismatch or non-integer inputs.
         """
-        inputs = np.asarray(inputs)
-        k, c, r, s = self.weights.shape
-        if inputs.shape[0] != c:
-            raise ValueError(f"channel mismatch: input C={inputs.shape[0]}, weights C={c}")
-        out_h, out_w = conv_output_hw(inputs.shape[1], inputs.shape[2], r, s, self.stride, self.padding)
-        # im2col uses the same (c, r, s) flattening order as the tables.
-        cols = im2col(inputs.astype(np.int64), r, s, self.stride, self.padding)
+        cols, out_h, out_w = self._columns(inputs)
+        out = execute_program(self.program, cols.T)
+        return out.reshape(self.num_filters, out_h, out_w)
+
+    def forward_fast(self, inputs: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`forward` (kept for API compatibility).
+
+        Historically the vectorized variant; both paths now run the
+        compiled engine program.
+        """
+        return self.forward(inputs)
+
+    def forward_per_entry(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-entry table walk (ground truth; orders of magnitude slower).
+
+        Walks every group's tables one entry at a time per output
+        position, exactly as the Section IV-C datapath does.  This is
+        the reference the engine's segment scan is verified against.
+        """
+        cols, out_h, out_w = self._columns(inputs)
         num_windows = cols.shape[1]
+        k = self.num_filters
         out = np.empty((k, num_windows), dtype=np.int64)
         for group_idx, tables in enumerate(self.groups):
             start = group_idx * self.group_size
             for w_idx in range(num_windows):
                 out[start : start + tables.num_filters, w_idx] = tables.execute(cols[:, w_idx])
-        return out.reshape(k, out_h, out_w)
-
-    def forward_fast(self, inputs: np.ndarray) -> np.ndarray:
-        """Vectorized forward (same math, grouped-gather implementation)."""
-        inputs = np.asarray(inputs)
-        k, c, r, s = self.weights.shape
-        out_h, out_w = conv_output_hw(inputs.shape[1], inputs.shape[2], r, s, self.stride, self.padding)
-        cols = im2col(inputs.astype(np.int64), r, s, self.stride, self.padding)
-        out = np.empty((k, cols.shape[1]), dtype=np.int64)
-        for group_idx, tables in enumerate(self.groups):
-            start = group_idx * self.group_size
-            out[start : start + tables.num_filters] = tables.execute_vectorized(cols.T)
         return out.reshape(k, out_h, out_w)
 
     def op_counts(self, out_positions: int) -> OpCounts:

@@ -1,0 +1,53 @@
+"""repro.engine — compiled segment-scan execution for factorized tables.
+
+The engine makes the factorized path the *fast* path: an offline
+compiler (:mod:`repro.engine.program`) lowers each
+:class:`~repro.core.hierarchical.FilterGroupTables` into a flat table
+program — gather indices, per-level segment boundaries, weight/MAC
+schedules — and a segment-scan executor (:mod:`repro.engine.executor`)
+evaluates the program over all windows and all filter groups of a layer
+at once, bit-exact against both the per-entry walk and the dense im2col
+reference.
+
+Typical use::
+
+    from repro.engine import compiled_layer_for
+
+    compiled = compiled_layer_for(weights, group_size=2)
+    outputs = compiled.program.run(windows)        # (K, n)
+
+Programs are memoized per (weights fingerprint, G, max_group_size,
+layer_canonical) so sweeps never re-lower a layer they have seen.
+"""
+
+from repro.engine.executor import execute_program
+from repro.engine.program import (
+    CompiledLayer,
+    SegmentPass,
+    TableProgram,
+    clear_program_cache,
+    compile_layer,
+    compile_tables,
+    compiled_layer_for,
+    layer_program_key,
+    program_cache_info,
+    table_program_for,
+    table_program_key,
+    weights_fingerprint,
+)
+
+__all__ = [
+    "CompiledLayer",
+    "SegmentPass",
+    "TableProgram",
+    "clear_program_cache",
+    "compile_layer",
+    "compile_tables",
+    "compiled_layer_for",
+    "execute_program",
+    "layer_program_key",
+    "program_cache_info",
+    "table_program_for",
+    "table_program_key",
+    "weights_fingerprint",
+]

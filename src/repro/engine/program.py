@@ -1,0 +1,419 @@
+"""Offline compiler: lowering factorized tables into flat table programs.
+
+The per-entry walk of :meth:`FilterGroupTables.execute` is the *semantic*
+ground truth for UCNN's datapath, but as a Python loop it is orders of
+magnitude slower than the dense matmul it is meant to beat.  This module
+lowers each table — offline, once per layer — into a **table program**:
+a handful of flat integer arrays that a vectorized segment-scan executor
+(:mod:`repro.engine.executor`) can evaluate over *all* windows and *all*
+filter groups of a layer at once.
+
+The lowering rests on one identity.  Within a level-``g`` segment of the
+hierarchical traversal, filter ``g``'s weight is constant (the segment is
+by construction a run of constant rank), so the walk's running-sum /
+MAC-at-boundary structure collapses to
+
+    out[g] = sum over level-g segments of  w_g(segment) * segment_sum
+
+Innermost chunking (``max_group_size``) and the skip-entry machinery only
+change *when* partial sums are folded, never their value, so the program
+needs just:
+
+* ``gather`` — the concatenated iiT address streams of every group
+  (windows are gathered through it in one shot);
+* per level, the **segment boundaries** (`seg_starts`) partitioning the
+  gathered stream, the **weight schedule** (one weight per segment) and
+  the **MAC mask** (segments whose weight is non-zero — the MACs the
+  datapath actually dispatches; zero-weight segments multiply by zero and
+  exist only so the partition stays exhaustive);
+* per level, the **filter reduction boundaries** (`filter_starts`,
+  `filter_ids`) that fold per-segment products into per-filter outputs.
+
+Groups that do not reach a level (the ragged last group when ``K % G``)
+are covered by *dead segments* — weight-zero segments spanning their
+slice — so one ``np.add.reduceat`` partition per level stays valid across
+the whole concatenated stream.
+
+Compilation is pure bookkeeping: it never re-orders the tables and it
+must not change their event accounting — :attr:`TableProgram.stats`
+carries each group's :class:`TableStats` verbatim, and the test suite
+pins compile-invariance.
+
+Programs are memoized in a process-wide cache keyed by
+``(weights fingerprint, G, max_group_size, layer_canonical)`` (schema in
+``docs/api.md``), so sweeps that rebuild the same layer do not re-lower.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.activation_groups import canonical_weight_order
+from repro.core.hierarchical import FilterGroupTables, TableStats, build_filter_group_tables
+from repro.core.indirection import DEFAULT_MAX_GROUP_SIZE
+
+
+@dataclass(frozen=True)
+class SegmentPass:
+    """One level of the segment scan, fused across all groups.
+
+    Attributes:
+        level: hierarchy level g (0-based; level g serves filter g of
+            each group that has one).
+        seg_starts: segment start offsets into the program's gathered
+            stream, strictly ascending, covering it exhaustively.
+        weights: the weight MACed at the end of each segment (0 for dead
+            coverage segments and zero-weight boundaries).
+        mac_mask: ``weights != 0`` — the MACs the datapath dispatches.
+        filter_starts: offsets into ``seg_starts`` where each output
+            filter's run of segments begins.
+        filter_ids: output row written by each filter run.
+    """
+
+    level: int
+    seg_starts: np.ndarray
+    weights: np.ndarray
+    mac_mask: np.ndarray
+    filter_starts: np.ndarray
+    filter_ids: np.ndarray
+
+    @property
+    def num_segments(self) -> int:
+        """Segments scanned in this pass (including dead coverage)."""
+        return int(self.seg_starts.size)
+
+
+@dataclass(frozen=True)
+class TableProgram:
+    """A compiled segment-scan program for one or more filter groups.
+
+    Attributes:
+        gather: concatenated iiT address streams (indices into a
+            flattened window) of every group, traversal order.
+        passes: one fused :class:`SegmentPass` per hierarchy level.
+        num_filters: total output rows K (sum of group sizes).
+        filter_size: flattened window length N every group shares.
+        num_groups: filter groups fused into this program.
+        stats: each group's :class:`TableStats`, unchanged by
+            compilation (the op-count invariance contract).
+        skip_entries: total skip-entry bubbles across groups (program
+            metadata; the executor never pays them — they are cycle
+            accounting, not math).
+        key: program-cache key when the program came from the cache.
+    """
+
+    gather: np.ndarray
+    passes: tuple[SegmentPass, ...]
+    num_filters: int
+    filter_size: int
+    num_groups: int
+    stats: tuple[TableStats, ...]
+    skip_entries: int
+    key: str | None = None
+
+    @property
+    def num_entries(self) -> int:
+        """Total gathered entries per window (sum of group table sizes)."""
+        return int(self.gather.size)
+
+    def run(self, windows: np.ndarray, chunk: int | None = None) -> np.ndarray:
+        """Execute over ``(n, N)`` integer windows; returns ``(K, n)``."""
+        from repro.engine.executor import execute_program
+
+        return execute_program(self, windows, chunk=chunk)
+
+    def run_window(self, window: np.ndarray) -> np.ndarray:
+        """Execute over one flattened window; returns ``(K,)``."""
+        from repro.engine.executor import execute_program
+
+        window = np.asarray(window)
+        return execute_program(self, window.reshape(1, -1))[:, 0]
+
+    def describe(self) -> str:
+        """Human-readable one-glance summary (examples/debugging)."""
+        lines = [
+            f"TableProgram: {self.num_groups} group(s), {self.num_filters} filter(s), "
+            f"{self.num_entries} gathered entries over windows of {self.filter_size}"
+        ]
+        for p in self.passes:
+            lines.append(
+                f"  pass level {p.level}: {p.num_segments} segments, "
+                f"{int(p.mac_mask.sum())} MACs, {p.filter_ids.size} filter(s)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CompiledLayer:
+    """A layer lowered end to end: its tables plus their fused program.
+
+    Attributes:
+        groups: the hierarchical tables, one per filter group.
+        canonical: the layer-wide canonical weight order (None when each
+            group used its own values).
+        program: the fused :class:`TableProgram` over all groups.
+        key: the program-cache key this layer is stored under.
+    """
+
+    groups: tuple[FilterGroupTables, ...]
+    canonical: np.ndarray | None
+    program: TableProgram
+    key: str
+
+
+def _segment_starts(boundary_idx: np.ndarray) -> np.ndarray:
+    """Segment start offsets from boundary (segment *end*) indices."""
+    starts = np.empty(boundary_idx.size, dtype=np.int64)
+    if boundary_idx.size:
+        starts[0] = 0
+        starts[1:] = boundary_idx[:-1] + 1
+    return starts
+
+
+def compile_layer(groups: Sequence[FilterGroupTables], key: str | None = None) -> TableProgram:
+    """Lower a sequence of filter-group tables into one fused program.
+
+    Args:
+        groups: the layer's :class:`FilterGroupTables`, all built over
+            the same flattened window length.
+        key: optional cache key recorded on the program.
+
+    Returns:
+        a :class:`TableProgram` whose executor output row ``k`` is the
+        dot product of the layer's ``k``-th filter (groups concatenated
+        in order).
+
+    Raises:
+        ValueError: if the groups disagree on filter size.
+    """
+    groups = tuple(groups)
+    if not groups:
+        raise ValueError("compile_layer needs at least one filter group")
+    filter_size = groups[0].filter_size
+    for tables in groups:
+        if tables.filter_size != filter_size:
+            raise ValueError(
+                f"filter size mismatch across groups: {tables.filter_size} != {filter_size}"
+            )
+    stats = tuple(tables.stats() for tables in groups)
+    offsets = np.zeros(len(groups), dtype=np.int64)
+    np.cumsum([t.num_entries for t in groups[:-1]], out=offsets[1:])
+    filter_offsets = np.zeros(len(groups), dtype=np.int64)
+    np.cumsum([t.num_filters for t in groups[:-1]], out=filter_offsets[1:])
+    num_filters = int(sum(t.num_filters for t in groups))
+    if any(t.num_entries for t in groups):
+        gather = np.concatenate([t.iit for t in groups if t.num_entries]).astype(np.int64)
+    else:
+        gather = np.zeros(0, dtype=np.int64)
+
+    passes: list[SegmentPass] = []
+    max_levels = max(t.num_filters for t in groups)
+    for level in range(max_levels):
+        starts_parts: list[np.ndarray] = []
+        weight_parts: list[np.ndarray] = []
+        filter_starts: list[int] = []
+        filter_ids: list[int] = []
+        pos = 0
+        for gi, tables in enumerate(groups):
+            if tables.num_entries == 0:
+                continue  # zero-width slice: nothing to cover, outputs stay 0
+            off = int(offsets[gi])
+            if tables.num_filters > level:
+                boundary_idx = np.flatnonzero(tables.transitions[level])
+                starts = _segment_starts(boundary_idx) + off
+                weights = tables.filters[level, tables.iit[boundary_idx]].astype(np.int64)
+                filter_starts.append(pos)
+                filter_ids.append(int(filter_offsets[gi]) + level)
+                starts_parts.append(starts)
+                weight_parts.append(weights)
+                pos += starts.size
+            else:
+                # Dead coverage: this group has no filter at this level,
+                # but the reduceat partition must still span its slice.
+                # Weight 0 makes its contribution vanish exactly.
+                starts_parts.append(np.array([off], dtype=np.int64))
+                weight_parts.append(np.zeros(1, dtype=np.int64))
+                pos += 1
+        if not filter_ids:
+            continue
+        weights = np.concatenate(weight_parts)
+        passes.append(
+            SegmentPass(
+                level=level,
+                seg_starts=np.concatenate(starts_parts),
+                weights=weights,
+                mac_mask=weights != 0,
+                filter_starts=np.asarray(filter_starts, dtype=np.int64),
+                filter_ids=np.asarray(filter_ids, dtype=np.int64),
+            )
+        )
+    return TableProgram(
+        gather=gather,
+        passes=tuple(passes),
+        num_filters=num_filters,
+        filter_size=filter_size,
+        num_groups=len(groups),
+        stats=stats,
+        skip_entries=int(sum(st.skip_bubbles for st in stats)),
+        key=key,
+    )
+
+
+def compile_tables(tables: FilterGroupTables, key: str | None = None) -> TableProgram:
+    """Lower one filter group's tables into a program (rows = G)."""
+    return compile_layer([tables], key=key)
+
+
+# ----------------------------------------------------------------------
+# Program cache
+# ----------------------------------------------------------------------
+
+_CACHE: OrderedDict[str, object] = OrderedDict()
+_CACHE_LOCK = threading.RLock()
+_MAX_CACHED_PROGRAMS = 128
+_HITS = 0
+_MISSES = 0
+
+
+def _fingerprint(*arrays: np.ndarray) -> str:
+    """SHA-256 over shape, dtype, and bytes of the given arrays."""
+    digest = hashlib.sha256()
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        digest.update(repr(arr.shape).encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def weights_fingerprint(weights: np.ndarray) -> str:
+    """Content fingerprint of a weight tensor (cache key component)."""
+    return _fingerprint(np.asarray(weights))
+
+
+def layer_program_key(
+    weights: np.ndarray,
+    group_size: int,
+    max_group_size: int,
+    layer_canonical: bool,
+) -> str:
+    """Cache key of a lowered layer: ``layer:g<G>:m<M>:c<0|1>:<sha256>``."""
+    return (
+        f"layer:g{group_size}:m{max_group_size}:c{int(layer_canonical)}:"
+        f"{weights_fingerprint(weights)}"
+    )
+
+
+def table_program_key(tables: FilterGroupTables) -> str:
+    """Cache key of one group's program: ``tables:m<M>:<sha256>``."""
+    return f"tables:m{tables.max_group_size}:{_fingerprint(tables.filters, tables.canonical)}"
+
+
+def _cached(key: str, build: Callable[[], object]) -> object:
+    global _HITS, _MISSES
+    with _CACHE_LOCK:
+        hit = _CACHE.get(key)
+        if hit is not None:
+            _CACHE.move_to_end(key)
+            _HITS += 1
+            return hit
+        _MISSES += 1
+    value = build()  # built outside the lock; duplicate builds are benign
+    with _CACHE_LOCK:
+        _CACHE[key] = value
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > _MAX_CACHED_PROGRAMS:
+            _CACHE.popitem(last=False)
+    return value
+
+
+def compiled_layer_for(
+    weights: np.ndarray,
+    group_size: int = 1,
+    max_group_size: int = DEFAULT_MAX_GROUP_SIZE,
+    layer_canonical: bool = True,
+) -> CompiledLayer:
+    """Lower a whole layer (tables + fused program), memoized.
+
+    Args:
+        weights: ``(K, C, R, S)`` or ``(K, N)`` integer weight tensor.
+        group_size: G, filters per shared table.
+        max_group_size: innermost chunk limit (Section IV-B).
+        layer_canonical: key every group to the layer-wide canonical
+            weight order (shared streamed weight buffer).
+
+    Returns:
+        the cached :class:`CompiledLayer` for this exact configuration;
+        repeated calls with identical weights return the same object,
+        so sweeps never re-lower a layer they have already seen.
+
+    Raises:
+        ValueError: on non-integer weights, bad shapes, or ``group_size
+        < 1``.
+    """
+    weights = np.asarray(weights)
+    if weights.dtype.kind not in "iu":
+        raise ValueError(
+            f"engine weights must be integers (got dtype {weights.dtype}); quantize first"
+        )
+    if weights.ndim == 4:
+        flat = weights.reshape(weights.shape[0], -1)
+    elif weights.ndim == 2:
+        flat = weights
+    else:
+        raise ValueError("weights must be (K, C, R, S) or (K, N)")
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    flat = flat.astype(np.int64, copy=False)
+    key = layer_program_key(flat, group_size, max_group_size, layer_canonical)
+
+    def build() -> CompiledLayer:
+        canonical = canonical_weight_order(flat) if layer_canonical else None
+        groups = tuple(
+            build_filter_group_tables(
+                flat[start : start + group_size],
+                canonical=canonical,
+                max_group_size=max_group_size,
+            )
+            for start in range(0, flat.shape[0], group_size)
+        )
+        return CompiledLayer(
+            groups=groups,
+            canonical=canonical,
+            program=compile_layer(groups, key=key),
+            key=key,
+        )
+
+    return _cached(key, build)
+
+
+def table_program_for(tables: FilterGroupTables) -> TableProgram:
+    """The memoized compiled program of one filter group's tables."""
+    key = table_program_key(tables)
+    return _cached(key, lambda: compile_tables(tables, key=key))
+
+
+def program_cache_info() -> dict:
+    """Program-cache counters: ``entries``, ``hits``, ``misses``, ``max``."""
+    with _CACHE_LOCK:
+        return {
+            "entries": len(_CACHE),
+            "hits": _HITS,
+            "misses": _MISSES,
+            "max": _MAX_CACHED_PROGRAMS,
+        }
+
+
+def clear_program_cache() -> None:
+    """Drop every cached program (tests / memory pressure)."""
+    global _HITS, _MISSES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

@@ -43,6 +43,23 @@ def stable_seed(*parts: object) -> int:
     return int.from_bytes(digest[:8], "little") >> 1
 
 
+def best_of(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock of one call to ``fn``, in seconds.
+
+    The shared timing convention for measured (non-analytic) speedup
+    numbers — min over repeats rejects scheduler noise; callers are
+    responsible for warming caches before measuring.
+    """
+    import time
+
+    times = []
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
 def network_shapes(name: str, include_fc: bool = False) -> list[ConvShape]:
     """Conv-layer geometries of a zoo network."""
     return get_network(name).conv_shapes(include_fc=include_fc)

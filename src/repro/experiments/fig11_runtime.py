@@ -10,11 +10,19 @@ line.
 
 Expected shape (paper): G = 1 runtime is proportional to density; larger
 G saves energy but erodes the cycle savings (union of more filters).
+
+Beyond the analytic model, ``run(engine_measured=True)`` adds one
+*measured* series per G: the same layer is lowered through
+:mod:`repro.engine` and the wall-clock of the compiled segment scan is
+compared against the dense matmul over an identical window batch — the
+software analogue of the paper's cycle claim, on real hardware.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.experiments.common import ucnn_config_for_group, uniform_weight_provider
 from repro.nn.tensor import ConvShape
@@ -70,6 +78,7 @@ def run(
     densities: tuple[float, ...] = PAPER_DENSITY_SWEEP,
     num_unique: int = 17,
     shape: ConvShape | None = None,
+    engine_measured: bool = False,
 ) -> Figure11Result:
     """Run the Figure 11 sweep.
 
@@ -78,6 +87,9 @@ def run(
         densities: weight-density sweep.
         num_unique: U of the synthetic weights (17 = INQ-like).
         shape: layer geometry (defaults to ResNet 256:256:3:3).
+        engine_measured: also measure each (G, density) point by
+            executing the layer's compiled table program and timing it
+            against the dense matmul (series ``UCNN G<g> engine``).
 
     Returns:
         a :class:`Figure11Result` including the flat DCNN_sp line.
@@ -94,6 +106,18 @@ def run(
         for density, g in cells
     )
     by_cell = dict(zip(cells, runtimes))
+    measured_by_cell: dict[tuple[float, int], float] = {}
+    if engine_measured:
+        # Deliberately NOT routed through runtime.execute: wall-clock
+        # ratios are machine-local measurements, so memoizing them in
+        # the content-addressed cache would replay one machine's stale
+        # timings forever, and pool parallelism would skew the clocks.
+        measured_by_cell = {
+            (density, g): _measured_point(
+                shape=shape, group_size=g, density=density, num_unique=num_unique
+            )
+            for density, g in cells
+        }
     points: list[RuntimePoint] = []
     for density in densities:
         points.append(RuntimePoint(
@@ -104,6 +128,11 @@ def run(
                 design=f"UCNN G{g}", group_size=g, density=density,
                 normalized_runtime=by_cell[(density, g)],
             ))
+            if engine_measured:
+                points.append(RuntimePoint(
+                    design=f"UCNN G{g} engine", group_size=g, density=density,
+                    normalized_runtime=measured_by_cell[(density, g)],
+                ))
     return Figure11Result(points=tuple(points))
 
 
@@ -120,3 +149,33 @@ def _runtime_point(shape: ConvShape, group_size: int, density: float, num_unique
     ucnn_cycles = walks * agg.entries
     dense_cycles = shape.out_h * shape.out_w * shape.k * shape.filter_size / 8
     return ucnn_cycles / dense_cycles
+
+
+def _measured_point(
+    shape: ConvShape,
+    group_size: int,
+    density: float,
+    num_unique: int,
+    windows: int = 256,
+    repeats: int = 3,
+) -> float:
+    """Design point: measured engine/dense wall-clock ratio of one cell.
+
+    Lowers the synthetic layer through :mod:`repro.engine`, executes the
+    compiled program over a seeded window batch, and normalizes its best
+    wall-clock against the dense int64 matmul over the same batch.
+    Parity between the two is asserted before timing anything.
+    """
+    from repro.engine import compiled_layer_for, execute_program
+    from repro.experiments.common import best_of
+
+    weights = uniform_weight_provider(num_unique, density, tag="fig11")(shape)
+    flat = weights.reshape(weights.shape[0], -1).astype(np.int64)
+    compiled = compiled_layer_for(weights, group_size=group_size)
+    rng = np.random.default_rng(2018)
+    batch = rng.integers(-128, 129, size=(windows, flat.shape[1]))
+    if not np.array_equal(execute_program(compiled.program, batch), flat @ batch.T):
+        raise RuntimeError("engine/dense parity failure in fig11 measured point")
+    t_engine = best_of(lambda: execute_program(compiled.program, batch), repeats=repeats)
+    t_dense = best_of(lambda: flat @ batch.T, repeats=repeats)
+    return t_engine / t_dense

@@ -95,8 +95,15 @@ def _sampled_jump_profile(
     config,
     width_bits: int,
     max_tables: int = 12,
+    engine_check: bool = True,
 ) -> _JumpProfile:
-    """Anchor and hop entries per real entry, measured on table samples."""
+    """Anchor and hop entries per real entry, measured on table samples.
+
+    With ``engine_check`` (default), every sampled table is also
+    *executed* — compiled through :mod:`repro.engine` and cross-checked
+    against the dense reference on a seeded window — so the sampled
+    estimator can never be skewed by a silently malformed table.
+    """
     k, c, r, s = weights.shape
     plan = tile_plan(shape, config)
     ct, tiles = plan.channel_tile, plan.num_tiles
@@ -118,6 +125,11 @@ def _sampled_jump_profile(
         tables = build_filter_group_tables(chunk, canonical=canonical)
         if tables.num_entries == 0:
             continue
+        if engine_check:
+            from repro.sim.functional import crosscheck_tables
+
+            window = rng.integers(-16, 17, size=tables.filter_size)
+            crosscheck_tables(tables, window, lane=False)
         ends = tables.transitions[tables.num_filters - 1]
         stats = grouped_jump_stats(tables.iit, ends, width_bits, pointer_bits)
         anchors += stats.anchor_entries

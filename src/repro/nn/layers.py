@@ -30,6 +30,22 @@ class Layer:
         """Compute the layer output for a ``(C, H, W)`` input tensor."""
         raise NotImplementedError
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute outputs for a batch of inputs stacked on axis 0.
+
+        The default runs :meth:`forward` per item; layers with a
+        batch-efficient path (notably :class:`ConvLayer` through the
+        compiled engine) override this.  Results are always bit-identical
+        to the per-item loop.
+
+        Raises:
+            ValueError: on an empty batch (output dtype would be a guess).
+        """
+        inputs = np.asarray(inputs)
+        if inputs.shape[0] == 0:
+            raise ValueError(f"layer {self.name!r}: empty batch (N=0) is not supported")
+        return np.stack([self.forward(x) for x in inputs])
+
     def output_shape(self, input_shape: TensorShape) -> TensorShape:
         """Shape of the output given an input shape."""
         raise NotImplementedError
@@ -93,6 +109,62 @@ class ConvLayer(Layer):
             )
         return reference.conv2d_grouped(inputs, self.weights, sh.groups, sh.stride, sh.padding)
 
+    #: Filter-group size used when the batched path lowers the layer
+    #: through :mod:`repro.engine` (the Table II sweet spot).
+    engine_group_size: int = 2
+
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Batched forward through the compiled engine when possible.
+
+        Integer, ungrouped layers im2col every image and run the layer's
+        memoized table program over all windows of all images in one
+        segment scan — materializing the columns a bounded slice of
+        images at a time, so memory stays flat however large the batch.
+        Grouped or float layers fall back to the per-image dense
+        reference.  Both paths are bit-identical to stacking
+        :meth:`forward` per image.
+        """
+        inputs = np.asarray(inputs)
+        sh = self.shape
+        if inputs.ndim != 4 or inputs.shape[1:] != sh.input_shape.as_tuple():
+            raise ValueError(
+                f"layer {self.name!r}: expected batch (N, {sh.input_shape.as_tuple()}), "
+                f"got {inputs.shape}"
+            )
+        if inputs.shape[0] == 0:
+            raise ValueError(f"layer {self.name!r}: empty batch (N=0) is not supported")
+        # The engine computes in int64; the per-image reference only
+        # promotes kind-'i' operands, so restrict the fast path to
+        # signed ints — anything else (float, unsigned with its wraparound
+        # semantics) falls back to the loop to keep bit-identity.
+        if sh.groups != 1 or self.weights.dtype.kind != "i" or inputs.dtype.kind != "i":
+            return super().forward_batch(inputs)
+        from repro.engine import compiled_layer_for, executor
+
+        program = compiled_layer_for(self.weights, group_size=self.engine_group_size).program
+        __, out_h, out_w = sh.output_shape.as_tuple()
+        positions = out_h * out_w
+        # The executor already chunks windows; bound the im2col columns
+        # the same way so the batch never materializes all at once.
+        per_image = sh.c * sh.r * sh.s * positions
+        step = max(1, executor.CHUNK_BUDGET_ELEMS // max(1, per_image))
+        n = inputs.shape[0]
+        out = np.empty((n, sh.k, out_h, out_w), dtype=np.int64)
+        for lo in range(0, n, step):
+            block = inputs[lo : lo + step]
+            cols = np.concatenate(
+                [
+                    reference.im2col(x.astype(np.int64), sh.r, sh.s, sh.stride, sh.padding)
+                    for x in block
+                ],
+                axis=1,
+            )
+            res = executor.execute_program(program, cols.T)  # (K, len(block) * positions)
+            out[lo : lo + block.shape[0]] = res.reshape(
+                sh.k, block.shape[0], out_h, out_w
+            ).transpose(1, 0, 2, 3)
+        return out
+
     def output_shape(self, input_shape: TensorShape) -> TensorShape:
         if input_shape.as_tuple() != self.shape.input_shape.as_tuple():
             raise ValueError(
@@ -112,6 +184,9 @@ class ReluLayer(Layer):
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         return reference.relu(inputs)
+
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        return reference.relu(np.asarray(inputs))
 
     def output_shape(self, input_shape: TensorShape) -> TensorShape:
         return input_shape
@@ -169,6 +244,10 @@ class FlattenLayer(Layer):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         return inputs.reshape(-1, 1, 1)
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs)
+        return inputs.reshape(inputs.shape[0], -1, 1, 1)
+
     def output_shape(self, input_shape: TensorShape) -> TensorShape:
         return TensorShape(input_shape.size, 1, 1)
 
@@ -217,6 +296,22 @@ class FullyConnectedLayer(Layer):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         out = reference.fully_connected(inputs, self.weights)
         return out.reshape(self.out_features, 1, 1)
+
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs)
+        # One int64 matmul for the whole batch is exact (associative mod
+        # 2**64). The per-item reference promotes only kind-'i' operands
+        # to int64, so anything else (float rounding order, unsigned
+        # wraparound) stays on the loop to keep bit-identity.
+        if inputs.dtype.kind != "i" or self.weights.dtype.kind != "i":
+            return super().forward_batch(inputs)
+        flat = inputs.reshape(inputs.shape[0], -1).astype(np.int64)
+        if flat.shape[1] != self.in_features:
+            raise ValueError(
+                f"layer {self.name!r}: expected {self.in_features} input features, got {flat.shape[1]}"
+            )
+        out = flat @ self.weights.astype(np.int64).T
+        return out.reshape(inputs.shape[0], self.out_features, 1, 1)
 
     def output_shape(self, input_shape: TensorShape) -> TensorShape:
         if input_shape.size != self.in_features:

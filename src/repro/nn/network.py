@@ -62,6 +62,34 @@ class Network:
             out = layer.forward(out)
         return out
 
+    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Run inference over a batch of images at once.
+
+        Convolutional layers with integer weights execute their compiled
+        table program (:mod:`repro.engine`) over every window of every
+        image in one segment scan — the program is lowered once and
+        reused across the whole batch.  Output is bit-identical to
+        stacking :meth:`forward` per image.
+
+        Args:
+            inputs: ``(N, C, H, W)`` batch matching the input shape.
+
+        Returns:
+            ``(N, *output_shape)`` stacked outputs.
+        """
+        inputs = np.asarray(inputs)
+        expected = self.input_shape.as_tuple()
+        if inputs.ndim != 4 or inputs.shape[1:] != expected:
+            raise ValueError(
+                f"network {self.name!r}: expected batch (N, {expected}), got {inputs.shape}"
+            )
+        if inputs.shape[0] == 0:
+            raise ValueError(f"network {self.name!r}: empty batch (N=0) is not supported")
+        out = inputs
+        for layer in self.layers:
+            out = layer.forward_batch(out)
+        return out
+
     def conv_layers(self, include_fc: bool = False) -> list[ConvLayer]:
         """All :class:`ConvLayer` instances in order.
 

@@ -9,6 +9,14 @@ cycle count.  The test suite checks it against the closed-form
 
 :class:`DcnnLaneSimulator` is the dense counterpart (one MAC per lane per
 cycle, VK lanes).
+
+:func:`crosscheck_tables` is the consistency hook tying the three
+execution surfaces together: for a given table it runs the compiled
+engine program (:mod:`repro.engine`), the dense reference, and
+optionally the cycle-stepped lane simulator, and raises if any pair
+disagrees.  The experiments that build tables on sampled data (fig14)
+call it so a table-construction bug can never silently skew a sampled
+estimator.
 """
 
 from __future__ import annotations
@@ -118,6 +126,52 @@ class UcnnLaneSimulator:
                 trace.stall_cycles += stall
                 trace.cycles += stall
         return trace
+
+
+class ConsistencyError(RuntimeError):
+    """Two execution surfaces disagreed on the same table and windows."""
+
+
+def crosscheck_tables(
+    tables: FilterGroupTables,
+    windows: np.ndarray,
+    num_multipliers: int = 1,
+    lane: bool = True,
+) -> np.ndarray:
+    """Assert engine ≡ dense (≡ lane simulator) on the given windows.
+
+    Args:
+        tables: the filter group's tables.
+        windows: one flattened window ``(N,)`` or a batch ``(n, N)``.
+        num_multipliers: multipliers per lane group for the lane run.
+        lane: also step the (slow, per-entry) lane simulator per window;
+            disable for cheap vectorized-only validation in sampled
+            estimators.
+
+    Returns:
+        the agreed ``(G, n)`` dot products.
+
+    Raises:
+        ConsistencyError: if any surface disagrees with the others.
+    """
+    from repro.engine import table_program_for
+
+    windows = np.asarray(windows)
+    if windows.ndim == 1:
+        windows = windows.reshape(1, -1)
+    engine_out = table_program_for(tables).run(windows)
+    dense = tables.dense_check(windows)
+    if not np.array_equal(engine_out, dense):
+        raise ConsistencyError(
+            f"engine program disagrees with dense reference on {windows.shape[0]} window(s)"
+        )
+    if lane:
+        sim = UcnnLaneSimulator(tables, num_multipliers=num_multipliers)
+        for i in range(windows.shape[0]):
+            trace = sim.run(windows[i])
+            if not np.array_equal(trace.outputs, engine_out[:, i]):
+                raise ConsistencyError(f"lane simulator disagrees with engine on window {i}")
+    return engine_out
 
 
 class DcnnLaneSimulator:

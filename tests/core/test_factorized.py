@@ -41,6 +41,26 @@ class TestFactorizedConv:
         conv = FactorizedConv(weights, group_size=2)
         assert np.array_equal(conv.forward(inputs), conv.forward_fast(inputs))
 
+    def test_forward_per_entry_matches_engine_forward(self, rng):
+        weights = rng.integers(-3, 4, size=(4, 2, 3, 3))
+        inputs = rng.integers(-8, 9, size=(2, 9, 9))
+        conv = FactorizedConv(weights, group_size=2, padding=1)
+        assert np.array_equal(conv.forward(inputs), conv.forward_per_entry(inputs))
+
+    def test_float_inputs_raise(self, rng):
+        conv = FactorizedConv(rng.integers(-2, 3, size=(2, 3, 3, 3)))
+        with pytest.raises(ValueError, match="integer inputs"):
+            conv.forward(rng.normal(size=(3, 8, 8)))
+
+    def test_float_weights_raise(self, rng):
+        with pytest.raises(ValueError, match="integer weights"):
+            FactorizedConv(rng.normal(size=(2, 3, 3, 3)))
+
+    def test_compiled_program_attached(self, rng):
+        conv = FactorizedConv(rng.integers(-2, 3, size=(4, 2, 3, 3)), group_size=2)
+        assert conv.program.num_filters == 4
+        assert conv.program.num_groups == 2
+
     def test_stride_and_padding(self, rng):
         weights = rng.integers(-3, 4, size=(3, 2, 3, 3))
         inputs = rng.integers(-8, 9, size=(2, 10, 10))

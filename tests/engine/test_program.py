@@ -1,0 +1,220 @@
+"""Unit tests for the compiled segment-scan engine (repro.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.factorized import FactorizedConv
+from repro.core.hierarchical import build_filter_group_tables
+from repro.engine import (
+    clear_program_cache,
+    compile_layer,
+    compile_tables,
+    compiled_layer_for,
+    execute_program,
+    layer_program_key,
+    program_cache_info,
+    table_program_for,
+)
+from repro.nn.reference import conv2d_im2col
+from repro.sim.functional import ConsistencyError, crosscheck_tables
+
+
+def dense(filters, windows):
+    return np.asarray(filters, dtype=np.int64) @ np.asarray(windows, dtype=np.int64).T
+
+
+class TestCompileTables:
+    @pytest.mark.parametrize("g", [1, 2, 3, 4])
+    def test_matches_execute_and_dense(self, g, rng):
+        for __ in range(10):
+            n = int(rng.integers(1, 50))
+            filters = rng.integers(-3, 4, size=(g, n))
+            windows = rng.integers(-9, 10, size=(7, n))
+            tables = build_filter_group_tables(filters)
+            program = compile_tables(tables)
+            out = execute_program(program, windows)
+            assert np.array_equal(out, dense(filters, windows))
+            for i in range(windows.shape[0]):
+                assert np.array_equal(out[:, i], tables.execute(windows[i]))
+
+    def test_chunked_tables_match(self, rng):
+        filters = np.concatenate([np.full((2, 30), 2), rng.integers(-2, 3, size=(2, 30))], axis=1)
+        windows = rng.integers(-9, 10, size=(5, 60))
+        for cap in (1, 3, 16):
+            tables = build_filter_group_tables(filters, max_group_size=cap)
+            assert np.array_equal(compile_tables(tables).run(windows), dense(filters, windows))
+
+    def test_layer_canonical_skip_layout(self, rng):
+        """Empty sub-groups / pointer skips do not perturb the math."""
+        canonical = np.array([9, 8, 7, 6, 5, 1, 0])
+        filters = np.array([[9, 1, 0, 9], [9, 5, 5, 1]])
+        tables = build_filter_group_tables(filters, canonical=canonical)
+        windows = rng.integers(-9, 10, size=(6, 4))
+        assert np.array_equal(compile_tables(tables).run(windows), dense(filters, windows))
+
+    def test_empty_tables(self):
+        tables = build_filter_group_tables(np.zeros((3, 5), dtype=np.int64))
+        program = compile_tables(tables)
+        out = program.run(np.arange(10).reshape(2, 5))
+        assert out.shape == (3, 2)
+        assert not out.any()
+
+    def test_run_window(self, rng):
+        filters = rng.integers(-3, 4, size=(2, 12))
+        tables = build_filter_group_tables(filters)
+        window = rng.integers(-9, 10, size=12)
+        assert np.array_equal(compile_tables(tables).run_window(window), tables.execute(window))
+
+    def test_stats_invariance(self, rng):
+        """Compilation must not change the tables' event accounting."""
+        filters = rng.integers(-2, 3, size=(3, 40))
+        tables = build_filter_group_tables(filters)
+        before = tables.stats()
+        program = compile_tables(tables)
+        assert tables.stats() == before
+        assert program.stats == (before,)
+        assert program.skip_entries == before.skip_bubbles
+
+    def test_describe_mentions_passes(self, rng):
+        program = compile_tables(build_filter_group_tables(rng.integers(-2, 3, size=(2, 20))))
+        text = program.describe()
+        assert "pass level 0" in text and "pass level 1" in text
+
+
+class TestCompileLayer:
+    def test_ragged_last_group(self, rng):
+        """K % G != 0 exercises the dead-coverage segments."""
+        filters = rng.integers(-3, 4, size=(5, 30))
+        groups = [
+            build_filter_group_tables(filters[i : i + 2]) for i in range(0, 5, 2)
+        ]
+        program = compile_layer(groups)
+        windows = rng.integers(-9, 10, size=(9, 30))
+        assert np.array_equal(execute_program(program, windows), dense(filters, windows))
+
+    def test_all_zero_group_among_live_ones(self, rng):
+        filters = rng.integers(-2, 3, size=(6, 20))
+        filters[2:4] = 0  # the middle group's table is empty
+        groups = [build_filter_group_tables(filters[i : i + 2]) for i in range(0, 6, 2)]
+        program = compile_layer(groups)
+        windows = rng.integers(-9, 10, size=(4, 20))
+        assert np.array_equal(execute_program(program, windows), dense(filters, windows))
+
+    def test_filter_size_mismatch_rejected(self, rng):
+        a = build_filter_group_tables(rng.integers(-2, 3, size=(1, 10)))
+        b = build_filter_group_tables(rng.integers(-2, 3, size=(1, 12)))
+        with pytest.raises(ValueError, match="filter size mismatch"):
+            compile_layer([a, b])
+
+    def test_no_groups_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            compile_layer([])
+
+    def test_chunking_equals_unchunked(self, rng):
+        filters = rng.integers(-3, 4, size=(4, 25))
+        groups = [build_filter_group_tables(filters[i : i + 2]) for i in range(0, 4, 2)]
+        program = compile_layer(groups)
+        windows = rng.integers(-9, 10, size=(11, 25))
+        full = execute_program(program, windows)
+        for chunk in (1, 2, 5):
+            assert np.array_equal(execute_program(program, windows, chunk=chunk), full)
+
+
+class TestExecutorValidation:
+    def test_float_windows_rejected(self, rng):
+        program = compile_tables(build_filter_group_tables(rng.integers(-2, 3, size=(2, 8))))
+        with pytest.raises(ValueError, match="integer"):
+            execute_program(program, rng.normal(size=(3, 8)))
+
+    def test_shape_mismatch_rejected(self, rng):
+        program = compile_tables(build_filter_group_tables(rng.integers(-2, 3, size=(2, 8))))
+        with pytest.raises(ValueError, match="windows must be"):
+            execute_program(program, rng.integers(-3, 4, size=(3, 9)))
+
+    def test_empty_batch(self, rng):
+        program = compile_tables(build_filter_group_tables(rng.integers(-2, 3, size=(2, 8))))
+        out = execute_program(program, np.zeros((0, 8), dtype=np.int64))
+        assert out.shape == (2, 0)
+
+
+class TestProgramCache:
+    def test_identical_weights_share_programs(self, rng):
+        clear_program_cache()
+        weights = rng.integers(-3, 4, size=(4, 2, 3, 3))
+        first = compiled_layer_for(weights, group_size=2)
+        second = compiled_layer_for(weights.copy(), group_size=2)
+        assert first is second
+        info = program_cache_info()
+        assert info["hits"] >= 1 and info["entries"] >= 1
+
+    def test_key_varies_with_parameters(self, rng):
+        flat = rng.integers(-3, 4, size=(4, 18))
+        base = layer_program_key(flat, 2, 16, True)
+        assert layer_program_key(flat, 4, 16, True) != base
+        assert layer_program_key(flat, 2, 8, True) != base
+        assert layer_program_key(flat, 2, 16, False) != base
+        other = flat.copy()
+        other[0, 0] += 1
+        assert layer_program_key(other, 2, 16, True) != base
+
+    def test_table_program_memoized(self, rng):
+        clear_program_cache()
+        filters = rng.integers(-2, 3, size=(2, 15))
+        a = table_program_for(build_filter_group_tables(filters))
+        b = table_program_for(build_filter_group_tables(filters))
+        assert a is b
+
+    def test_float_weights_rejected(self, rng):
+        with pytest.raises(ValueError, match="integer"):
+            compiled_layer_for(rng.normal(size=(2, 2, 3, 3)), group_size=1)
+
+
+class TestFactorizedConvEngine:
+    def test_forward_is_engine_and_matches_per_entry(self, rng):
+        weights = rng.integers(-3, 4, size=(5, 3, 3, 3))
+        inputs = rng.integers(-8, 9, size=(3, 8, 8))
+        conv = FactorizedConv(weights, group_size=2, padding=1)
+        out = conv.forward(inputs)
+        assert np.array_equal(out, conv.forward_per_entry(inputs))
+        assert np.array_equal(out, conv2d_im2col(inputs, weights, 1, 1))
+
+    def test_float_inputs_rejected(self, rng):
+        conv = FactorizedConv(rng.integers(-2, 3, size=(2, 3, 3, 3)))
+        with pytest.raises(ValueError, match="integer inputs"):
+            conv.forward(rng.normal(size=(3, 8, 8)))
+        with pytest.raises(ValueError, match="integer inputs"):
+            conv.forward_per_entry(rng.normal(size=(3, 8, 8)))
+
+    def test_execute_vectorized_runs_factorized_math(self, rng):
+        """execute_vectorized goes through the engine, not the matmul."""
+        filters = rng.integers(-3, 4, size=(2, 20))
+        tables = build_filter_group_tables(filters)
+        windows = rng.integers(-9, 10, size=(6, 20))
+        assert np.array_equal(tables.execute_vectorized(windows), dense(filters, windows))
+        assert np.array_equal(tables.dense_check(windows), dense(filters, windows))
+        with pytest.raises(ValueError, match="integer"):
+            tables.execute_vectorized(windows.astype(float))
+
+
+class TestCrosscheckHook:
+    def test_agreement_passes(self, rng):
+        filters = rng.integers(-2, 3, size=(2, 24))
+        tables = build_filter_group_tables(filters)
+        windows = rng.integers(-9, 10, size=(3, 24))
+        out = crosscheck_tables(tables, windows)
+        assert np.array_equal(out, dense(filters, windows))
+
+    def test_single_window_accepted(self, rng):
+        filters = rng.integers(-2, 3, size=(3, 16))
+        tables = build_filter_group_tables(filters)
+        out = crosscheck_tables(tables, rng.integers(-9, 10, size=16), lane=False)
+        assert out.shape == (3, 1)
+
+    def test_mismatch_raises(self, rng, monkeypatch):
+        filters = rng.integers(-2, 3, size=(2, 10))
+        tables = build_filter_group_tables(filters)
+        monkeypatch.setattr(
+            type(tables), "dense_check", lambda self, w: np.zeros((2, len(w)), dtype=np.int64) + 1
+        )
+        with pytest.raises(ConsistencyError):
+            crosscheck_tables(tables, rng.integers(1, 9, size=(2, 10)), lane=False)

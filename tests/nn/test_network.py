@@ -46,6 +46,51 @@ class TestForward:
         with pytest.raises(ValueError, match="expected input"):
             tiny_network().forward(np.zeros((1, 6, 6), dtype=np.int64))
 
+    def test_forward_batch_matches_stacked_forward(self, rng):
+        net = tiny_network()
+        net.layers[0].set_weights(rng.integers(-2, 3, size=(3, 2, 3, 3)))
+        net.layers[3].set_weights(rng.integers(-2, 3, size=(4, 108)))
+        batch = rng.integers(0, 5, size=(6, 2, 6, 6))
+        stacked = np.stack([net.forward(x) for x in batch])
+        assert np.array_equal(net.forward_batch(batch), stacked)
+
+    def test_forward_batch_unsigned_dtypes_match_stacked(self, rng):
+        """uint8 wraparound must follow the per-image reference exactly."""
+        net = tiny_network()
+        net.layers[0].set_weights(rng.integers(0, 255, size=(3, 2, 3, 3), dtype=np.uint8))
+        net.layers[3].set_weights(rng.integers(0, 255, size=(4, 108), dtype=np.uint8))
+        batch = rng.integers(0, 255, size=(3, 2, 6, 6), dtype=np.uint8)
+        stacked = np.stack([net.forward(x) for x in batch])
+        assert np.array_equal(net.forward_batch(batch), stacked)
+
+    def test_forward_batch_float_weights_fall_back(self, rng):
+        net = tiny_network()
+        net.layers[0].set_weights(rng.normal(size=(3, 2, 3, 3)))
+        net.layers[3].set_weights(rng.normal(size=(4, 108)))
+        batch = rng.integers(0, 5, size=(3, 2, 6, 6))
+        stacked = np.stack([net.forward(x) for x in batch])
+        assert np.array_equal(net.forward_batch(batch), stacked)
+
+    def test_forward_batch_shape_checked(self):
+        with pytest.raises(ValueError, match="expected batch"):
+            tiny_network().forward_batch(np.zeros((2, 1, 6, 6), dtype=np.int64))
+
+    def test_forward_batch_empty_batch_clear_error(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            tiny_network().forward_batch(np.zeros((0, 2, 6, 6), dtype=np.int64))
+
+    def test_forward_batch_image_chunking_is_bit_identical(self, rng, monkeypatch):
+        """A tiny column budget forces multi-slice execution; same bits."""
+        from repro.engine import executor
+
+        net = tiny_network()
+        net.layers[0].set_weights(rng.integers(-2, 3, size=(3, 2, 3, 3)))
+        net.layers[3].set_weights(rng.integers(-2, 3, size=(4, 108)))
+        batch = rng.integers(0, 5, size=(7, 2, 6, 6))
+        full = net.forward_batch(batch)
+        monkeypatch.setattr(executor, "CHUNK_BUDGET_ELEMS", 1)
+        assert np.array_equal(net.forward_batch(batch), full)
+
 
 class TestIntrospection:
     def test_conv_layers(self):

@@ -117,7 +117,16 @@ class TestParity:
     def test_factorize_dict_matches_direct(self, server):
         kwargs = {"k": 4, "c": 8, "u": 5, "group_size": 2, "density": 0.7}
         with ServeClient(port=server.port) as client:
-            assert client.value("factorize", **kwargs) == direct_value("factorize", kwargs)
+            value = client.value("factorize", **kwargs)
+        assert value == direct_value("factorize", kwargs)
+        assert value["engine"]["parity"] is True
+
+    def test_engine_forward_matches_direct_and_dense(self, server):
+        kwargs = {"k": 4, "c": 8, "u": 5, "group_size": 2, "size": 6}
+        with ServeClient(port=server.port) as client:
+            value = client.value("engine_forward", **kwargs)
+        assert value == direct_value("engine_forward", kwargs)
+        assert value["parity"] is True
 
     def test_cached_hit_returns_identical_value(self, server):
         kwargs = {"network": "lenet", "group_size": 4, "density": 0.3}
