@@ -23,10 +23,18 @@ from repro.arch.config import ucnn_config
 from repro.core.factorized import FactorizedConv
 from repro.core.hierarchical import build_filter_group_tables
 from repro.core.indirection import factorize_filter
-from repro.engine import execute_program
+from repro.engine import compile_network, execute_network, execute_program
 from repro.experiments.common import best_of
+from repro.nn.layers import (
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    MaxPoolLayer,
+    ReluLayer,
+)
+from repro.nn.network import Network
 from repro.nn.reference import conv2d_im2col, im2col
-from repro.nn.tensor import ConvShape
+from repro.nn.tensor import ConvShape, TensorShape
 from repro.quant.distributions import uniform_unique_weights
 from repro.sim.analytic import ucnn_layer_aggregate
 
@@ -39,6 +47,13 @@ SHAPE = (
 
 #: The smoke gate: compiled engine vs per-entry walk on the bench shape.
 ENGINE_MIN_SPEEDUP = 20.0
+
+#: The fusion gate: whole-network fused executor vs the per-layer engine
+#: path on the standard 4-layer batch workload.  The fused win is
+#: amortized dispatch — one buffer plan and one batched unfold instead of
+#: per-layer (and per-image) Python allocation — so it holds on a single
+#: core; threads only widen it.
+FUSED_MIN_SPEEDUP = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -123,6 +138,109 @@ def test_bench_per_entry_walk(benchmark, bench_conv, bench_inputs):
     sample = cols[:, : max(8, cols.shape[1] // 16)]
     out = benchmark.pedantic(_per_entry_walk, args=(bench_conv, sample), rounds=1, iterations=1)
     assert np.array_equal(out, bench_conv.weights.reshape(bench_conv.num_filters, -1) @ sample)
+
+
+# ----------------------------------------------------------------------
+# Fused network vs per-layer engine vs dense: the standard 4-layer
+# (3 conv + 1 FC) batch workload, three ways.
+# ----------------------------------------------------------------------
+
+
+def _bench_network_workload():
+    """The standard 4-layer batch workload of the fusion gate.
+
+    conv-relu-pool, conv-relu-pool, conv-relu, flatten-fc with INQ-like
+    synthetic weights — deep enough that per-layer dispatch overhead is
+    the difference under test, small enough for nightly smoke runs.
+    """
+    rng = np.random.default_rng(2018)
+    if smoke_mode():
+        w, c, k1, k2, batch = 12, 16, 16, 16, 32
+    else:
+        w, c, k1, k2, batch = 16, 16, 16, 32, 32
+    layers = []
+    s1 = ConvShape(name="net-c1", w=w, h=w, c=c, k=k1, r=3, s=3, padding=1)
+    layers += [
+        ConvLayer(s1, uniform_unique_weights(s1.weight_shape, 17, 0.9, rng).values),
+        ReluLayer("net-r1"),
+        MaxPoolLayer(2, 2, "net-p1"),
+    ]
+    shape = MaxPoolLayer(2, 2).output_shape(s1.output_shape)
+    s2 = ConvShape(name="net-c2", w=shape.w, h=shape.h, c=shape.c, k=k2, r=3, s=3, padding=1)
+    layers += [
+        ConvLayer(s2, uniform_unique_weights(s2.weight_shape, 17, 0.9, rng).values),
+        ReluLayer("net-r2"),
+        MaxPoolLayer(2, 2, "net-p2"),
+    ]
+    shape = MaxPoolLayer(2, 2).output_shape(s2.output_shape)
+    s3 = ConvShape(name="net-c3", w=shape.w, h=shape.h, c=shape.c, k=k2, r=3, s=3, padding=1)
+    layers += [
+        ConvLayer(s3, uniform_unique_weights(s3.weight_shape, 17, 0.9, rng).values),
+        ReluLayer("net-r3"),
+        FlattenLayer("net-fl"),
+    ]
+    features = s3.output_shape.size
+    layers.append(FullyConnectedLayer(
+        10, features, uniform_unique_weights((10, features), 17, 0.9, rng).values,
+        name="net-fc",
+    ))
+    network = Network("bench-4layer", TensorShape(c, w, w), layers)
+    images = rng.integers(-8, 9, size=(batch, c, w, w)).astype(np.int64)
+    return network, images
+
+
+@pytest.fixture(scope="module")
+def bench_network():
+    return _bench_network_workload()
+
+
+def test_bench_network_per_layer(benchmark, bench_network):
+    network, images = bench_network
+    network.forward_batch(images)  # warm the per-layer program cache
+    out = benchmark(network.forward_batch, images)
+    assert out.shape[0] == images.shape[0]
+
+
+def test_bench_network_fused(benchmark, bench_network):
+    network, images = bench_network
+    program = compile_network(network)  # warm the network program cache
+    reference = network.forward_batch(images)
+    out = benchmark(execute_network, program, images)
+    assert np.array_equal(out, reference)
+
+
+def test_bench_network_dense(benchmark, bench_network):
+    network, images = bench_network
+
+    def dense():
+        return np.stack([network.forward(img) for img in images])
+
+    out = benchmark.pedantic(dense, rounds=1, iterations=1)
+    assert out.shape[0] == images.shape[0]
+
+
+def test_fused_network_speedup_gate(bench_network):
+    """Regression floor: fused >= 1.5x the per-layer engine, same batch.
+
+    Bit-identity between the two paths is asserted on the same batch the
+    clocks run on — the gate guards the speed *and* the contract.
+    """
+    network, images = bench_network
+    program = compile_network(network)
+    fused = execute_network(program, images)
+    per_layer = network.forward_batch(images)
+    assert np.array_equal(fused, per_layer), "fused/per-layer parity failure"
+    t_per_layer = best_of(lambda: network.forward_batch(images))
+    t_fused = best_of(lambda: execute_network(program, images))
+    speedup = t_per_layer / t_fused
+    print(
+        f"\nfused speedup gate [{network.name}]: per-layer {t_per_layer * 1e3:.1f} ms "
+        f"vs fused {t_fused * 1e3:.1f} ms over {images.shape[0]} images -> {speedup:.2f}x"
+    )
+    assert speedup >= FUSED_MIN_SPEEDUP, (
+        f"fused executor only {speedup:.2f}x over the per-layer engine path "
+        f"(floor {FUSED_MIN_SPEEDUP}x on {network.name})"
+    )
 
 
 def test_engine_speedup_gate(bench_conv, bench_inputs):

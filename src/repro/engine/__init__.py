@@ -1,26 +1,44 @@
 """repro.engine — compiled segment-scan execution for factorized tables.
 
-The engine makes the factorized path the *fast* path: an offline
-compiler (:mod:`repro.engine.program`) lowers each
-:class:`~repro.core.hierarchical.FilterGroupTables` into a flat table
-program — gather indices, per-level segment boundaries, weight/MAC
-schedules — and a segment-scan executor (:mod:`repro.engine.executor`)
-evaluates the program over all windows and all filter groups of a layer
-at once, bit-exact against both the per-entry walk and the dense im2col
-reference.
+The engine makes the factorized path the *fast* path, at two scales:
+
+* **Per layer** — an offline compiler (:mod:`repro.engine.program`)
+  lowers each :class:`~repro.core.hierarchical.FilterGroupTables` into a
+  flat table program — gather indices, per-level segment boundaries,
+  weight/MAC schedules — and a segment-scan executor
+  (:mod:`repro.engine.executor`) evaluates the program over all windows
+  and all filter groups of a layer at once, bit-exact against both the
+  per-entry walk and the dense im2col reference.
+
+* **Per network** — :mod:`repro.engine.fusion` stitches every layer's
+  program into one :class:`NetworkProgram` with a preallocated
+  activation-buffer plan, a thread pool fanning each layer's segment
+  scan across filter-group shards, and a sparse-activation gather mode
+  — bit-exact against the per-layer path.
 
 Typical use::
 
-    from repro.engine import compiled_layer_for
+    from repro.engine import compiled_layer_for, compile_network
 
     compiled = compiled_layer_for(weights, group_size=2)
     outputs = compiled.program.run(windows)        # (K, n)
 
-Programs are memoized per (weights fingerprint, G, max_group_size,
-layer_canonical) so sweeps never re-lower a layer they have seen.
+    program = compile_network(network)             # whole-network IR
+    batch_out = program.run(batch, threads=4)      # (N, K, oh, ow)
+
+Programs are memoized in a process-wide cache — per-layer programs
+under ``layer:...``/``tables:...`` keys, fused networks under
+``net:...`` keys (schemas in ``docs/api.md``) — so sweeps and serve
+workers never re-lower weights they have seen.
 """
 
 from repro.engine.executor import execute_program
+from repro.engine.fusion import (
+    NetworkProgram,
+    compile_network,
+    execute_network,
+    network_program_key,
+)
 from repro.engine.program import (
     CompiledLayer,
     SegmentPass,
@@ -38,14 +56,18 @@ from repro.engine.program import (
 
 __all__ = [
     "CompiledLayer",
+    "NetworkProgram",
     "SegmentPass",
     "TableProgram",
     "clear_program_cache",
     "compile_layer",
+    "compile_network",
     "compile_tables",
     "compiled_layer_for",
+    "execute_network",
     "execute_program",
     "layer_program_key",
+    "network_program_key",
     "program_cache_info",
     "table_program_for",
     "table_program_key",

@@ -19,19 +19,35 @@ Windows are processed in chunks bounding the gathered matrix to roughly
 :data:`CHUNK_BUDGET_ELEMS` elements, so arbitrarily large batches (a
 whole layer's slide positions, or many images' worth) run in constant
 memory.
+
+The executor also has a **sparse-activation gather mode**
+(``sparse=True`` / ``sparse="auto"``): gather entries whose source
+activation is zero in *every* window of a chunk are dropped from the
+stream before the segment scan.  A zero contributes exactly zero to an
+int64 segment sum, so compression never changes a single output bit —
+it only skips the gathers and adds the datapath would have wasted on
+dead activations (ReuseSense-style activation reuse layered on UCNN's
+weight reuse).  Segments whose entries are all dropped are zeroed
+explicitly after the scan (``np.add.reduceat`` would otherwise leak the
+neighbouring segment's first element into them).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.program import TableProgram
+from repro.engine.program import SegmentPass, TableProgram
 
 #: Target size (int64 elements) of one chunk's gathered matrix (~64 MiB).
 CHUNK_BUDGET_ELEMS = 8_000_000
 
+#: ``sparse="auto"`` engages compression only when at least this
+#: fraction of a chunk's gather entries reads a dead activation.
+SPARSE_MIN_DEAD_FRACTION = 0.25
+
 
 def _validated_windows(windows: np.ndarray, filter_size: int) -> np.ndarray:
+    """Validate ``(n, N)`` integer windows and cast them to int64."""
     windows = np.asarray(windows)
     if windows.ndim != 2 or windows.shape[1] != filter_size:
         raise ValueError(f"windows must be (n, {filter_size}), got {windows.shape}")
@@ -43,10 +59,63 @@ def _validated_windows(windows: np.ndarray, filter_size: int) -> np.ndarray:
     return windows.astype(np.int64, copy=False)
 
 
+def compressed_segments(
+    seg_starts: np.ndarray, prefix: np.ndarray, total: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remap a pass's segment partition onto a compressed gather stream.
+
+    Args:
+        seg_starts: the pass's segment start offsets into the *full*
+            gather stream (int64, strictly ascending).
+        prefix: ``(E + 1,)`` int64 prefix sums of the keep mask over the
+            full stream — ``prefix[i]`` is how many of the first ``i``
+            entries survive compression.
+        total: entries in the compressed stream (``prefix[-1]``); must
+            be >= 1 (the caller handles the all-dropped stream).
+
+    Returns:
+        ``(starts, empty)`` — int64 start offsets into the compressed
+        stream, clamped into ``[0, total)`` so ``np.add.reduceat``
+        accepts them, and the boolean mask of segments whose entries
+        were all dropped (their reduceat output must be zeroed: with
+        equal consecutive indices reduceat returns the element at the
+        index, which belongs to the *next* segment).
+    """
+    raw = prefix[seg_starts]
+    ends = np.empty_like(raw)
+    ends[:-1] = raw[1:]
+    ends[-1] = total
+    empty = raw == ends
+    return np.minimum(raw, total - 1), empty
+
+
+def _run_pass(
+    gathered: np.ndarray,
+    p: SegmentPass,
+    out: np.ndarray,
+    lo: int,
+    hi: int,
+    prefix: np.ndarray | None,
+    total: int,
+) -> None:
+    """Execute one segment pass over a gathered chunk into ``out``."""
+    if prefix is None:
+        seg = np.add.reduceat(gathered, p.seg_starts, axis=1)
+    else:
+        starts, empty = compressed_segments(p.seg_starts, prefix, total)
+        seg = np.add.reduceat(gathered, starts, axis=1)
+        if empty.any():
+            seg[:, empty] = 0
+    np.multiply(seg, p.weights, out=seg)
+    per_filter = np.add.reduceat(seg, p.filter_starts, axis=1)
+    out[p.filter_ids, lo:hi] = per_filter.T
+
+
 def execute_program(
     program: TableProgram,
     windows: np.ndarray,
     chunk: int | None = None,
+    sparse: bool | str = False,
 ) -> np.ndarray:
     """Evaluate a compiled program over a batch of windows.
 
@@ -55,14 +124,24 @@ def execute_program(
         windows: ``(n, N)`` integer matrix of flattened input tiles.
         chunk: windows per chunk (default: sized so the gathered matrix
             stays near :data:`CHUNK_BUDGET_ELEMS` elements).
+        sparse: the sparse-activation gather mode.  ``False`` (default)
+            always gathers the full stream; ``True`` drops gather
+            entries whose source activation is zero across the whole
+            chunk; ``"auto"`` measures each chunk and compresses only
+            when at least :data:`SPARSE_MIN_DEAD_FRACTION` of the
+            entries are dead.  Every mode is bit-identical — zeros
+            contribute nothing to int64 segment sums.
 
     Returns:
         ``(K, n)`` int64 dot products, bit-identical to walking each
         group's tables per window.
 
     Raises:
-        ValueError: on shape mismatch or non-integer windows.
+        ValueError: on shape mismatch, non-integer windows, or an
+            unrecognized ``sparse`` mode.
     """
+    if sparse not in (False, True, "auto"):
+        raise ValueError(f"sparse must be False, True, or 'auto', got {sparse!r}")
     windows = _validated_windows(windows, program.filter_size)
     n = windows.shape[0]
     out = np.zeros((program.num_filters, n), dtype=np.int64)
@@ -73,10 +152,21 @@ def execute_program(
         chunk = max(1, CHUNK_BUDGET_ELEMS // entries)
     for lo in range(0, n, chunk):
         block = windows[lo : lo + chunk]
-        gathered = block[:, program.gather]
+        hi = lo + block.shape[0]
+        prefix = None
+        total = entries
+        gather = program.gather
+        if sparse is not False:
+            keep = block.any(axis=0)[program.gather]
+            dead = entries - int(np.count_nonzero(keep))
+            if dead == entries:
+                continue  # every activation is zero: outputs stay 0
+            if dead and (sparse is True or dead >= entries * SPARSE_MIN_DEAD_FRACTION):
+                prefix = np.zeros(entries + 1, dtype=np.int64)
+                np.cumsum(keep, out=prefix[1:])
+                total = int(prefix[-1])
+                gather = program.gather[keep]
+        gathered = block[:, gather]
         for p in program.passes:
-            seg = np.add.reduceat(gathered, p.seg_starts, axis=1)
-            np.multiply(seg, p.weights, out=seg)
-            per_filter = np.add.reduceat(seg, p.filter_starts, axis=1)
-            out[p.filter_ids, lo : lo + block.shape[0]] = per_filter.T
+            _run_pass(gathered, p, out, lo, hi, prefix, total)
     return out

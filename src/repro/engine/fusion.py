@@ -1,0 +1,815 @@
+"""Whole-network fusion: one compiled program per :class:`Network`.
+
+:mod:`repro.engine.program` lowers a *layer* into a table program;
+this module lowers an entire network into a :class:`NetworkProgram` —
+one artifact that the fused executor (:func:`execute_network`) walks
+without returning to per-layer Python dispatch:
+
+* every convolutional layer becomes a :class:`ConvStep` holding the
+  layer's compiled segment-scan programs, pre-sharded across filter
+  groups so a thread pool can fan each layer's scan out (NumPy releases
+  the GIL inside ``take``/``reduceat``, so shards genuinely overlap);
+* intermediate activations live in two ping-pong buffers sized by an
+  :class:`BufferPlan` at compile time — no per-layer allocation, and no
+  per-layer ``(N, C, H, W) <-> (C, N, H, W)`` transposes: the fused
+  pipeline keeps activations in channel-major ``(C, n, H, W)`` layout
+  end to end and converts exactly once on entry and once on exit;
+* the im2col unfold is batched — one strided copy per (r, s) tap for
+  the whole image slice, instead of one Python-level unfold per image;
+* a **sparse-activation gather mode** (``sparse="auto"``, the default)
+  drops gather entries whose source activation is zero across the
+  slice — ReuseSense-style activation reuse layered on UCNN's weight
+  reuse, bit-exact because zeros contribute nothing to int64 sums.
+
+All arithmetic is int64: the fused output is bit-identical to
+``Network.forward_batch(fused=False)`` and to stacking
+``Network.forward`` per image, for every thread count and sparse mode
+(the property suite in ``tests/engine/test_fusion_properties.py`` pins
+this).
+
+Programs are memoized in the process-wide program cache under a
+``net:...`` key (schema in ``docs/api.md``) covering every layer's
+weights and every lowering parameter, so repeated batches — and serve
+workers answering ``network_forward`` — never re-lower a network they
+have seen.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.indirection import DEFAULT_MAX_GROUP_SIZE
+from repro.engine import executor as _executor
+from repro.engine.executor import compressed_segments
+from repro.engine.program import (
+    TableProgram,
+    _cached,
+    compile_layer,
+    compiled_layer_for,
+    weights_fingerprint,
+)
+
+#: Filter-group shards each conv layer is split into at compile time.
+#: Shards execute independently (disjoint output rows), so this bounds
+#: the thread fan-out of one layer's segment scan.
+DEFAULT_NETWORK_SHARDS = 8
+
+#: ``sparse="auto"`` probes a layer's activation slice for dead gather
+#: rows only when at least this fraction of its activations is zero.
+SPARSE_AUTO_MIN_ZERO_FRACTION = 0.6
+
+#: Exact error text shared with :class:`repro.core.factorized.FactorizedConv`
+#: for float weights — the fused path and the per-layer factorized path
+#: reject unquantized weights with one voice.
+_FLOAT_WEIGHTS_MSG = (
+    "FactorizedConv requires integer weights (got dtype {dtype}); "
+    "quantize first instead of relying on truncation"
+)
+
+_FLOAT_INPUTS_MSG = (
+    "FactorizedConv requires integer inputs (got dtype {dtype}); "
+    "quantize activations explicitly instead of relying on truncation"
+)
+
+
+@dataclass(frozen=True, eq=False)
+class ShardSpec:
+    """One filter-group shard of a conv layer's fused program.
+
+    Attributes:
+        program: the shard's compiled :class:`TableProgram` (its
+            ``gather`` holds absolute window indices, so every shard
+            reads the same column matrix).
+        row_lo: first output row (int) this shard owns.
+        row_hi: one past the last output row this shard owns.
+        zero_rows: int64 global output rows belonging to filter groups
+            with zero table entries — no pass ever writes them, so the
+            executor zeroes them explicitly (output buffers are reused).
+    """
+
+    program: TableProgram
+    row_lo: int
+    row_hi: int
+    zero_rows: np.ndarray
+
+
+@dataclass(frozen=True, eq=False)
+class ConvStep:
+    """A convolutional layer lowered into sharded segment-scan programs.
+
+    Attributes:
+        name: source layer name.
+        in_shape: ``(C, H, W)`` input activation shape per image.
+        out_shape: ``(K, out_h, out_w)`` output shape per image.
+        r, s, stride, padding: convolution geometry (``r`` along width,
+            ``s`` along height, matching :func:`repro.nn.reference.im2col`).
+        shards: the layer's :class:`ShardSpec` sequence (disjoint,
+            exhaustive output rows).
+        entries: total gather entries across shards (per window).
+    """
+
+    name: str
+    in_shape: tuple[int, int, int]
+    out_shape: tuple[int, int, int]
+    r: int
+    s: int
+    stride: int
+    padding: int
+    shards: tuple[ShardSpec, ...]
+    entries: int
+
+    @property
+    def windows(self) -> int:
+        """Output positions (windows) per image."""
+        return self.out_shape[1] * self.out_shape[2]
+
+    @property
+    def filter_size(self) -> int:
+        """Flattened window length ``C*R*S``."""
+        return self.in_shape[0] * self.r * self.s
+
+
+@dataclass(frozen=True, eq=False)
+class DenseStep:
+    """A fully connected layer as one int64 matmul into its buffer.
+
+    Attributes:
+        name: source layer name.
+        weights: ``(K, N)`` int64 weight matrix.
+        in_shape: ``(C, H, W)`` input shape per image (``C*H*W == N``).
+        out_shape: ``(K, 1, 1)`` output shape per image.
+    """
+
+    name: str
+    weights: np.ndarray
+    in_shape: tuple[int, int, int]
+    out_shape: tuple[int, int, int]
+
+
+@dataclass(frozen=True, eq=False)
+class ReluStep:
+    """Elementwise ReLU between two activation buffers."""
+
+    name: str
+    in_shape: tuple[int, int, int]
+    out_shape: tuple[int, int, int]
+
+
+@dataclass(frozen=True, eq=False)
+class PoolStep:
+    """Max or average pooling (ceil-mode, matching the nn reference).
+
+    Attributes:
+        name: source layer name.
+        kind: ``"max"`` or ``"avg"`` (average uses floor division on
+            integers, exactly like :func:`repro.nn.reference.avgpool2d`).
+        size, stride: pooling window geometry.
+        in_shape / out_shape: per-image ``(C, H, W)`` shapes.
+    """
+
+    name: str
+    kind: str
+    size: int
+    stride: int
+    in_shape: tuple[int, int, int]
+    out_shape: tuple[int, int, int]
+
+
+@dataclass(frozen=True, eq=False)
+class FlattenStep:
+    """Flatten ``(C, H, W)`` to ``(C*H*W, 1, 1)`` in reference order."""
+
+    name: str
+    in_shape: tuple[int, int, int]
+    out_shape: tuple[int, int, int]
+
+
+@dataclass(frozen=True, eq=False)
+class FallbackStep:
+    """A layer the fused engine cannot lower (e.g. a grouped conv).
+
+    The step calls the layer's own ``forward_batch`` — bit-identical to
+    the per-layer path by construction — converting the fused pipeline's
+    channel-major layout at the step boundary.
+    """
+
+    name: str
+    layer: object
+    in_shape: tuple[int, int, int]
+    out_shape: tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """The fused executor's preallocation contract, in per-image units.
+
+    Every field counts int64 *elements per image*; the executor
+    multiplies by the slice size once and reuses the buffers across all
+    layers and slices of a call.
+
+    Attributes:
+        slot_elems: ping-pong activation buffer sizes — step ``i`` reads
+            slot ``i % 2`` and writes slot ``(i + 1) % 2``.
+        cols_elems: largest unfolded column matrix (``C*R*S * windows``)
+            of any conv step.
+        pad_elems: largest zero-padded activation tensor of any conv
+            step with ``padding > 0``.
+        gather_elems: largest single-shard gathered stream
+            (``entries * windows``) — allocated once per worker thread.
+        seg_elems: largest single-pass segment matrix
+            (``segments * windows``) — allocated once per worker thread.
+        per_image_cost: slicing unit — the largest per-image footprint
+            across conv steps; slices are sized so this stays near
+            :data:`repro.engine.executor.CHUNK_BUDGET_ELEMS`.
+        max_shards: most shards in any conv step (bounds useful threads).
+    """
+
+    slot_elems: tuple[int, int]
+    cols_elems: int
+    pad_elems: int
+    gather_elems: int
+    seg_elems: int
+    per_image_cost: int
+    max_shards: int
+
+    def images_per_slice(self, budget: int | None = None) -> int:
+        """Images per execution slice under the given element budget.
+
+        ``budget`` defaults to the live value of
+        :data:`repro.engine.executor.CHUNK_BUDGET_ELEMS`, so tests (and
+        operators) that shrink the chunk budget affect the fused slicer
+        exactly like the per-layer one.
+        """
+        if budget is None:
+            budget = _executor.CHUNK_BUDGET_ELEMS
+        return max(1, budget // max(1, self.per_image_cost))
+
+
+@dataclass(frozen=True, eq=False)
+class NetworkProgram:
+    """A whole network lowered into one fused, executable artifact.
+
+    Attributes:
+        name: source network name.
+        input_shape: per-image ``(C, H, W)`` the program accepts.
+        output_shape: per-image output shape it produces.
+        steps: the lowered step sequence, execution order.
+        plan: the :class:`BufferPlan` sizing every reused buffer.
+        key: program-cache key (``net:...`` schema in ``docs/api.md``).
+    """
+
+    name: str
+    input_shape: tuple[int, int, int]
+    output_shape: tuple[int, int, int]
+    steps: tuple
+    plan: BufferPlan
+    key: str | None = None
+
+    @property
+    def num_steps(self) -> int:
+        """Steps in the fused pipeline."""
+        return len(self.steps)
+
+    def run(
+        self,
+        inputs: np.ndarray,
+        threads: int = 1,
+        sparse: bool | str = "auto",
+    ) -> np.ndarray:
+        """Execute over an ``(N, C, H, W)`` batch; see :func:`execute_network`."""
+        return execute_network(self, inputs, threads=threads, sparse=sparse)
+
+    def describe(self) -> str:
+        """Human-readable step/buffer summary (examples/debugging)."""
+        lines = [
+            f"NetworkProgram {self.name!r}: {self.num_steps} step(s), "
+            f"input {self.input_shape} -> output {self.output_shape}"
+        ]
+        for step in self.steps:
+            if isinstance(step, ConvStep):
+                lines.append(
+                    f"  conv {step.name!r}: {len(step.shards)} shard(s), "
+                    f"{step.entries} entries x {step.windows} windows -> {step.out_shape}"
+                )
+            else:
+                kind = type(step).__name__.replace("Step", "").lower()
+                lines.append(f"  {kind} {step.name!r}: {step.in_shape} -> {step.out_shape}")
+        lines.append(
+            f"  buffers: slots {self.plan.slot_elems} elems/image, "
+            f"cols {self.plan.cols_elems}, gather {self.plan.gather_elems} "
+            f"(x{self.plan.max_shards} shards max)"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+
+
+def _check_weights(layer_name: str, weights: np.ndarray) -> np.ndarray:
+    """Validate a fused layer's weights; returns them as int64."""
+    weights = np.asarray(weights)
+    if weights.dtype.kind == "u":
+        raise ValueError(
+            f"fused execution cannot guarantee bit-identity for unsigned weights "
+            f"(layer {layer_name!r}, dtype {weights.dtype}); use fused=False"
+        )
+    if weights.dtype.kind != "i":
+        raise ValueError(_FLOAT_WEIGHTS_MSG.format(dtype=weights.dtype))
+    return weights.astype(np.int64, copy=False)
+
+
+def _shard_groups(groups, shards: int) -> tuple[ShardSpec, ...]:
+    """Split a layer's filter groups into contiguous, balanced shards."""
+    num_groups = len(groups)
+    n_shards = max(1, min(shards, num_groups))
+    row_offsets = np.zeros(num_groups + 1, dtype=np.int64)
+    np.cumsum([t.num_filters for t in groups], out=row_offsets[1:])
+    bounds = np.linspace(0, num_groups, n_shards + 1).astype(int)
+    specs = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        if a == b:
+            continue
+        chunk = groups[a:b]
+        row_lo = int(row_offsets[a])
+        zero_rows = [
+            row
+            for gi, tables in enumerate(chunk, start=a)
+            if tables.num_entries == 0
+            for row in range(int(row_offsets[gi]) - row_lo, int(row_offsets[gi + 1]) - row_lo)
+        ]
+        specs.append(
+            ShardSpec(
+                program=compile_layer(chunk),
+                row_lo=row_lo,
+                row_hi=int(row_offsets[b]),
+                zero_rows=np.asarray(zero_rows, dtype=np.int64) + row_lo,
+            )
+        )
+    return tuple(specs)
+
+
+def _lower_layers(
+    network,
+    group_size: int | None,
+    max_group_size: int,
+    layer_canonical: bool,
+    shards: int,
+    compile_steps: bool = True,
+) -> tuple[tuple, list[str]]:
+    """Lower every layer into a step; returns (steps, key descriptors).
+
+    With ``compile_steps=False`` only the cheap descriptor walk runs —
+    weights are fingerprinted and validated but no table program is
+    compiled — which is what keeps :func:`network_program_key` (and
+    therefore every cache *hit*) fast.
+    """
+    from repro.nn.layers import (
+        AvgPoolLayer,
+        ConvLayer,
+        FlattenLayer,
+        FullyConnectedLayer,
+        MaxPoolLayer,
+        ReluLayer,
+    )
+
+    steps: list = []
+    descriptors: list[str] = []
+    shape = network.input_shape
+    for layer in network.layers:
+        out_shape = layer.output_shape(shape)
+        in_t = shape.as_tuple()
+        out_t = out_shape.as_tuple()
+        if isinstance(layer, ConvLayer) and layer.shape.groups == 1:
+            weights = _check_weights(layer.name, layer.weights)
+            g = group_size if group_size is not None else layer.engine_group_size
+            sh = layer.shape
+            descriptors.append(
+                f"conv:{layer.name}:g{g}:st{sh.stride}:p{sh.padding}:"
+                f"{weights_fingerprint(weights)}"
+            )
+            if compile_steps:
+                compiled = compiled_layer_for(
+                    weights,
+                    group_size=g,
+                    max_group_size=max_group_size,
+                    layer_canonical=layer_canonical,
+                )
+                steps.append(
+                    ConvStep(
+                        name=layer.name,
+                        in_shape=in_t,
+                        out_shape=out_t,
+                        r=sh.r,
+                        s=sh.s,
+                        stride=sh.stride,
+                        padding=sh.padding,
+                        shards=_shard_groups(compiled.groups, shards),
+                        entries=compiled.program.num_entries,
+                    )
+                )
+        elif isinstance(layer, ConvLayer):
+            _check_weights(layer.name, layer.weights)  # same rejection as the fused path
+            steps.append(FallbackStep(layer.name, layer, in_t, out_t))
+            descriptors.append(
+                f"grouped-conv:{layer.name}:G{layer.shape.groups}:st{layer.shape.stride}:"
+                f"p{layer.shape.padding}:{weights_fingerprint(np.asarray(layer.weights))}"
+            )
+        elif isinstance(layer, FullyConnectedLayer):
+            weights = _check_weights(layer.name, layer.weights)
+            steps.append(DenseStep(layer.name, weights, in_t, out_t))
+            descriptors.append(f"fc:{layer.name}:{weights_fingerprint(weights)}")
+        elif isinstance(layer, ReluLayer):
+            steps.append(ReluStep(layer.name, in_t, out_t))
+            descriptors.append("relu")
+        elif isinstance(layer, MaxPoolLayer):
+            geo = layer.geometry
+            steps.append(PoolStep(layer.name, "max", geo.size, geo.stride, in_t, out_t))
+            descriptors.append(f"maxpool:{geo.size}:{geo.stride}")
+        elif isinstance(layer, AvgPoolLayer):
+            geo = layer.geometry
+            steps.append(PoolStep(layer.name, "avg", geo.size, geo.stride, in_t, out_t))
+            descriptors.append(f"avgpool:{geo.size}:{geo.stride}")
+        elif isinstance(layer, FlattenLayer):
+            steps.append(FlattenStep(layer.name, in_t, out_t))
+            descriptors.append("flatten")
+        else:
+            steps.append(FallbackStep(layer.name, layer, in_t, out_t))
+            descriptors.append(f"fallback:{type(layer).__name__}:{layer.name}")
+        shape = out_shape
+    return tuple(steps), descriptors
+
+
+def _plan_buffers(input_elems: int, steps: tuple) -> BufferPlan:
+    """Size every reused buffer of the fused executor (per-image units)."""
+    slot_elems = [input_elems, 0]
+    cols = pad = gather = seg = per_image = max_shards = 0
+    for i, step in enumerate(steps):
+        out_elems = int(np.prod(step.out_shape))
+        slot = (i + 1) % 2
+        slot_elems[slot] = max(slot_elems[slot], out_elems)
+        if isinstance(step, ConvStep):
+            windows = step.windows
+            cols = max(cols, step.filter_size * windows)
+            if step.padding:
+                c, h, w = step.in_shape
+                pad = max(pad, c * (h + 2 * step.padding) * (w + 2 * step.padding))
+            for spec in step.shards:
+                gather = max(gather, spec.program.num_entries * windows)
+                for p in spec.program.passes:
+                    seg = max(seg, p.num_segments * windows)
+            per_image = max(per_image, step.entries * windows, step.filter_size * windows)
+            max_shards = max(max_shards, len(step.shards))
+    per_image = max(per_image, *slot_elems)
+    return BufferPlan(
+        slot_elems=(slot_elems[0], slot_elems[1]),
+        cols_elems=cols,
+        pad_elems=pad,
+        gather_elems=gather,
+        seg_elems=seg,
+        per_image_cost=per_image,
+        max_shards=max_shards,
+    )
+
+
+def network_program_key(
+    network,
+    group_size: int | None = None,
+    max_group_size: int = DEFAULT_MAX_GROUP_SIZE,
+    layer_canonical: bool = True,
+    shards: int = DEFAULT_NETWORK_SHARDS,
+) -> str:
+    """Program-cache key of a fused network (``net:...`` schema).
+
+    The digest covers the input shape and one descriptor per layer —
+    conv/FC descriptors embed the weight fingerprint and every lowering
+    parameter, so the key rotates on any weight or parameter change.
+    """
+    __, descriptors = _lower_layers(
+        network, group_size, max_group_size, layer_canonical, shards, compile_steps=False
+    )
+    digest = hashlib.sha256()
+    digest.update(repr(network.input_shape.as_tuple()).encode())
+    for d in descriptors:
+        digest.update(d.encode())
+        digest.update(b"\x00")
+    g = group_size if group_size is not None else "*"
+    return (
+        f"net:g{g}:m{max_group_size}:c{int(layer_canonical)}:s{shards}:"
+        f"{digest.hexdigest()}"
+    )
+
+
+def compile_network(
+    network,
+    group_size: int | None = None,
+    max_group_size: int = DEFAULT_MAX_GROUP_SIZE,
+    layer_canonical: bool = True,
+    shards: int = DEFAULT_NETWORK_SHARDS,
+) -> NetworkProgram:
+    """Lower a whole :class:`~repro.nn.network.Network`, memoized.
+
+    Args:
+        network: the network; every conv/FC layer must have (signed)
+            integer weights attached.  Ungrouped conv layers lower into
+            sharded segment-scan programs; grouped convs and unknown
+            layer types become fallback steps running the layer's own
+            batched forward.
+        group_size: UCNN G for every conv layer; ``None`` (default)
+            uses each layer's ``engine_group_size`` — the same choice
+            the per-layer ``forward_batch`` path makes, which is what
+            keeps the two paths bit-identical *and* program-cache warm.
+        max_group_size: innermost chunk limit (Section IV-B).
+        layer_canonical: key each conv layer's groups to the layer-wide
+            canonical weight order.
+        shards: filter-group shards per conv layer (the thread fan-out
+            ceiling; :data:`DEFAULT_NETWORK_SHARDS`).
+
+    Returns:
+        the memoized :class:`NetworkProgram`; repeated calls with
+        identical weights and parameters return the same object.
+
+    Raises:
+        ValueError: on float weights (same message as
+            :class:`~repro.core.factorized.FactorizedConv`) or unsigned
+            weights.
+        RuntimeError: if a conv/FC layer has no weights attached.
+    """
+    key = network_program_key(network, group_size, max_group_size, layer_canonical, shards)
+
+    def build() -> NetworkProgram:
+        """Lower every layer and assemble the program (cache-miss path)."""
+        steps, __ = _lower_layers(network, group_size, max_group_size, layer_canonical, shards)
+        input_elems = network.input_shape.size
+        return NetworkProgram(
+            name=network.name,
+            input_shape=network.input_shape.as_tuple(),
+            output_shape=network.output_shape.as_tuple(),
+            steps=steps,
+            plan=_plan_buffers(input_elems, steps),
+            key=key,
+        )
+
+    return _cached(key, build)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+class _Scratch:
+    """Per-call buffer pool realizing the :class:`BufferPlan`."""
+
+    def __init__(self, plan: BufferPlan, slice_n: int, workers: int):
+        """Allocate every buffer the plan sizes, for one image slice."""
+        self.slice_n = slice_n
+        self.slots = [
+            np.empty(plan.slot_elems[0] * slice_n, dtype=np.int64),
+            np.empty(plan.slot_elems[1] * slice_n, dtype=np.int64),
+        ]
+        self.cols = np.empty(plan.cols_elems * slice_n, dtype=np.int64)
+        self.pad = np.empty(plan.pad_elems * slice_n, dtype=np.int64)
+        self.gather = [np.empty(plan.gather_elems * slice_n, dtype=np.int64) for _ in range(workers)]
+        self.seg = [np.empty(plan.seg_elems * slice_n, dtype=np.int64) for _ in range(workers)]
+
+    def slot_view(self, slot: int, shape: tuple[int, int, int], ns: int) -> np.ndarray:
+        """A ``(C, ns, H, W)`` view of one ping-pong activation buffer."""
+        c, h, w = shape
+        return self.slots[slot][: c * ns * h * w].reshape(c, ns, h, w)
+
+
+def _unfold(step: ConvStep, cur: np.ndarray, scratch: _Scratch) -> np.ndarray:
+    """Batched im2col in channel-major layout: ``(C*R*S, ns*windows)``.
+
+    One strided copy per (r, s) tap for the whole slice, against the
+    per-image Python unfold of the per-layer path.  Row ordering matches
+    :func:`repro.nn.reference.im2col` exactly (``c*R*S + rr*S + ss``).
+    """
+    c, h, w = step.in_shape
+    ns = cur.shape[1]
+    if step.padding:
+        p = step.padding
+        padded = scratch.pad[: c * ns * (h + 2 * p) * (w + 2 * p)].reshape(
+            c, ns, h + 2 * p, w + 2 * p
+        )
+        padded[...] = 0
+        padded[:, :, p : p + h, p : p + w] = cur
+    else:
+        padded = cur
+    oh, ow = step.out_shape[1], step.out_shape[2]
+    cols = scratch.cols[: step.filter_size * ns * oh * ow].reshape(c, step.r, step.s, ns, oh, ow)
+    for rr in range(step.r):
+        for ss in range(step.s):
+            cols[:, rr, ss] = padded[
+                :, :, ss : ss + oh * step.stride : step.stride, rr : rr + ow * step.stride : step.stride
+            ]
+    return cols.reshape(step.filter_size, ns * oh * ow)
+
+
+def _run_shard(
+    spec: ShardSpec,
+    cols: np.ndarray,
+    out2d: np.ndarray,
+    live: np.ndarray | None,
+    gather_buf: np.ndarray,
+    seg_buf: np.ndarray,
+) -> None:
+    """Execute one shard's segment scan over the shared column matrix."""
+    width = cols.shape[1]
+    if spec.zero_rows.size:
+        out2d[spec.zero_rows] = 0
+    program = spec.program
+    entries = program.num_entries
+    if entries == 0:
+        return  # all groups empty: zero_rows covered every row
+    gather = program.gather
+    prefix = None
+    total = entries
+    if live is not None:
+        keep = live[gather]
+        kept = int(np.count_nonzero(keep))
+        if kept == 0:
+            out2d[spec.row_lo : spec.row_hi] = 0
+            return
+        if kept < entries:
+            prefix = np.zeros(entries + 1, dtype=np.int64)
+            np.cumsum(keep, out=prefix[1:])
+            total = kept
+            gather = gather[keep]
+    gathered = gather_buf[: gather.size * width].reshape(gather.size, width)
+    np.take(cols, gather, axis=0, out=gathered)
+    for p in program.passes:
+        if prefix is None:
+            starts, empty = p.seg_starts, None
+        else:
+            starts, empty = compressed_segments(p.seg_starts, prefix, total)
+        seg = seg_buf[: starts.size * width].reshape(starts.size, width)
+        np.add.reduceat(gathered, starts, axis=0, out=seg)
+        if empty is not None and empty.any():
+            seg[empty] = 0
+        seg *= p.weights[:, None]
+        per_filter = np.add.reduceat(seg, p.filter_starts, axis=0)
+        out2d[spec.row_lo + p.filter_ids] = per_filter
+
+
+def _apply_conv(
+    step: ConvStep,
+    cur: np.ndarray,
+    out: np.ndarray,
+    scratch: _Scratch,
+    pool: ThreadPoolExecutor | None,
+    workers: int,
+    sparse: bool | str,
+) -> None:
+    """Run one conv step: unfold, then fan the shards across threads."""
+    ns = cur.shape[1]
+    cols = _unfold(step, cur, scratch)
+    live = None
+    if sparse is True:
+        live = cols.any(axis=1)
+    elif sparse == "auto":
+        zero_frac = 1.0 - np.count_nonzero(cur) / cur.size
+        if zero_frac >= SPARSE_AUTO_MIN_ZERO_FRACTION:
+            live = cols.any(axis=1)
+    if live is not None and live.all():
+        live = None
+    out2d = out.reshape(step.out_shape[0], ns * step.windows)
+    if pool is not None and len(step.shards) > 1:
+        futures = [
+            pool.submit(_run_shard_list, step.shards[slot::workers], cols, out2d, live, scratch, slot)
+            for slot in range(min(workers, len(step.shards)))
+        ]
+        for future in futures:
+            future.result()
+    else:
+        _run_shard_list(step.shards, cols, out2d, live, scratch, 0)
+
+
+def _run_shard_list(shards, cols, out2d, live, scratch: _Scratch, slot: int) -> None:
+    """Run a worker's shard share sequentially on its own scratch pair."""
+    for spec in shards:
+        _run_shard(spec, cols, out2d, live, scratch.gather[slot], scratch.seg[slot])
+
+
+def _apply_pool(step: PoolStep, cur: np.ndarray, out: np.ndarray) -> None:
+    """Ceil-mode pooling over a ``(C, ns, H, W)`` slice, reference-exact."""
+    h, w = step.in_shape[1], step.in_shape[2]
+    oh, ow = step.out_shape[1], step.out_shape[2]
+    for y in range(oh):
+        ylo = y * step.stride
+        yhi = min(h, ylo + step.size)
+        for x in range(ow):
+            xlo = x * step.stride
+            xhi = min(w, xlo + step.size)
+            window = cur[:, :, ylo:yhi, xlo:xhi]
+            if step.kind == "max":
+                np.max(window, axis=(2, 3), out=out[:, :, y, x])
+            else:
+                count = (yhi - ylo) * (xhi - xlo)
+                np.floor_divide(window.sum(axis=(2, 3)), count, out=out[:, :, y, x])
+
+
+def _flatten_into(cur: np.ndarray, out2d: np.ndarray) -> None:
+    """Copy ``(C, ns, H, W)`` into ``(C*H*W, ns)`` in reference order."""
+    c, ns, h, w = cur.shape
+    out2d.reshape(c, h, w, ns)[...] = cur.transpose(0, 2, 3, 1)
+
+
+def execute_network(
+    program: NetworkProgram,
+    inputs: np.ndarray,
+    threads: int = 1,
+    sparse: bool | str = "auto",
+) -> np.ndarray:
+    """Execute a fused network program over a batch of images.
+
+    Args:
+        program: the compiled :class:`NetworkProgram`.
+        inputs: ``(N, C, H, W)`` batch of **signed** integer activation
+            tensors matching ``program.input_shape``.
+        threads: worker threads fanning each conv layer's segment scan
+            across its filter-group shards.  Output is bit-identical for
+            every thread count (shards own disjoint output rows and the
+            per-row arithmetic never changes).
+        sparse: sparse-activation gather mode per conv step — ``"auto"``
+            (default) compresses when a layer's activation slice is at
+            least :data:`SPARSE_AUTO_MIN_ZERO_FRACTION` zero, ``True``
+            always compresses, ``False`` never does.  All modes are
+            bit-identical.
+
+    Returns:
+        ``(N, *program.output_shape)`` int64 outputs, bit-identical to
+        ``Network.forward_batch(fused=False)`` on the source network.
+
+    Raises:
+        ValueError: on shape mismatch, an empty batch, float inputs
+            (the :class:`FactorizedConv` message), unsigned inputs, or
+            a bad ``sparse`` mode.
+    """
+    if sparse not in (False, True, "auto"):
+        raise ValueError(f"sparse must be False, True, or 'auto', got {sparse!r}")
+    inputs = np.asarray(inputs)
+    expected = program.input_shape
+    batch_shape = "(N, " + ", ".join(str(d) for d in expected) + ")"
+    if inputs.ndim != 4 or inputs.shape[1:] != expected:
+        raise ValueError(
+            f"network {program.name!r}: expected batch {batch_shape}, got {inputs.shape}"
+        )
+    if inputs.shape[0] == 0:
+        raise ValueError(
+            f"network {program.name!r}: empty batch (N=0) is not supported; "
+            f"expected {batch_shape} with N >= 1"
+        )
+    if inputs.dtype.kind == "f":
+        raise ValueError(_FLOAT_INPUTS_MSG.format(dtype=inputs.dtype))
+    if inputs.dtype.kind != "i":
+        raise ValueError(
+            f"fused execution cannot guarantee bit-identity for unsigned activations "
+            f"(got dtype {inputs.dtype}); use fused=False"
+        )
+    if not program.steps:
+        return inputs
+    n = inputs.shape[0]
+    out = np.empty((n,) + program.output_shape, dtype=np.int64)
+    slice_n = min(n, program.plan.images_per_slice())
+    workers = max(1, min(int(threads), max(1, program.plan.max_shards)))
+    scratch = _Scratch(program.plan, slice_n, workers)
+    pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+    try:
+        for lo in range(0, n, slice_n):
+            block = inputs[lo : lo + slice_n]
+            ns = block.shape[0]
+            cur = scratch.slot_view(0, program.input_shape, ns)
+            cur[...] = block.transpose(1, 0, 2, 3)
+            for i, step in enumerate(program.steps):
+                nxt = scratch.slot_view((i + 1) % 2, step.out_shape, ns)
+                if isinstance(step, ConvStep):
+                    _apply_conv(step, cur, nxt, scratch, pool, workers, sparse)
+                elif isinstance(step, ReluStep):
+                    np.maximum(cur, 0, out=nxt)
+                elif isinstance(step, PoolStep):
+                    _apply_pool(step, cur, nxt)
+                elif isinstance(step, FlattenStep):
+                    _flatten_into(cur, nxt.reshape(step.out_shape[0], ns))
+                elif isinstance(step, DenseStep):
+                    c, h, w = step.in_shape
+                    if h == 1 and w == 1:
+                        flat = cur.reshape(c, ns)
+                    else:
+                        flat = cur.transpose(0, 2, 3, 1).reshape(c * h * w, ns)
+                    np.matmul(step.weights, flat, out=nxt.reshape(step.out_shape[0], ns))
+                else:  # FallbackStep
+                    result = step.layer.forward_batch(cur.transpose(1, 0, 2, 3))
+                    nxt[...] = np.asarray(result).transpose(1, 0, 2, 3)
+                cur = nxt
+            out[lo : lo + ns] = cur.transpose(1, 0, 2, 3)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False)
+    return out

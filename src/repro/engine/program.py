@@ -316,6 +316,7 @@ def table_program_key(tables: FilterGroupTables) -> str:
 
 
 def _cached(key: str, build: Callable[[], object]) -> object:
+    """Memoize ``build()`` under ``key`` in the process-wide LRU cache."""
     global _HITS, _MISSES
     with _CACHE_LOCK:
         hit = _CACHE.get(key)
@@ -374,6 +375,7 @@ def compiled_layer_for(
     key = layer_program_key(flat, group_size, max_group_size, layer_canonical)
 
     def build() -> CompiledLayer:
+        """Factorize the groups and lower them (cache-miss path)."""
         canonical = canonical_weight_order(flat) if layer_canonical else None
         groups = tuple(
             build_filter_group_tables(

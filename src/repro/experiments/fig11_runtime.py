@@ -16,6 +16,11 @@ Beyond the analytic model, ``run(engine_measured=True)`` adds one
 :mod:`repro.engine` and the wall-clock of the compiled segment scan is
 compared against the dense matmul over an identical window batch — the
 software analogue of the paper's cycle claim, on real hardware.
+``run(fused_measured=True)`` adds the whole-network analogue: the layer
+is wrapped in a :class:`~repro.nn.network.Network`, lowered through
+:func:`repro.engine.compile_network`, and the fused executor's
+wall-clock (im2col included) is normalized against the per-image dense
+convolution over the same batch (series ``UCNN G<g> fused``).
 """
 
 from __future__ import annotations
@@ -79,6 +84,7 @@ def run(
     num_unique: int = 17,
     shape: ConvShape | None = None,
     engine_measured: bool = False,
+    fused_measured: bool = False,
 ) -> Figure11Result:
     """Run the Figure 11 sweep.
 
@@ -90,6 +96,11 @@ def run(
         engine_measured: also measure each (G, density) point by
             executing the layer's compiled table program and timing it
             against the dense matmul (series ``UCNN G<g> engine``).
+        fused_measured: also measure each point through the fused
+            whole-network executor — the layer wrapped in a
+            :class:`~repro.nn.network.Network` and lowered via
+            :func:`repro.engine.compile_network` — normalized against
+            the per-image dense convolution (series ``UCNN G<g> fused``).
 
     Returns:
         a :class:`Figure11Result` including the flat DCNN_sp line.
@@ -107,6 +118,7 @@ def run(
     )
     by_cell = dict(zip(cells, runtimes))
     measured_by_cell: dict[tuple[float, int], float] = {}
+    fused_by_cell: dict[tuple[float, int], float] = {}
     if engine_measured:
         # Deliberately NOT routed through runtime.execute: wall-clock
         # ratios are machine-local measurements, so memoizing them in
@@ -114,6 +126,14 @@ def run(
         # timings forever, and pool parallelism would skew the clocks.
         measured_by_cell = {
             (density, g): _measured_point(
+                shape=shape, group_size=g, density=density, num_unique=num_unique
+            )
+            for density, g in cells
+        }
+    if fused_measured:
+        # Same rationale: machine-local wall clock, never cached.
+        fused_by_cell = {
+            (density, g): _fused_measured_point(
                 shape=shape, group_size=g, density=density, num_unique=num_unique
             )
             for density, g in cells
@@ -132,6 +152,11 @@ def run(
                 points.append(RuntimePoint(
                     design=f"UCNN G{g} engine", group_size=g, density=density,
                     normalized_runtime=measured_by_cell[(density, g)],
+                ))
+            if fused_measured:
+                points.append(RuntimePoint(
+                    design=f"UCNN G{g} fused", group_size=g, density=density,
+                    normalized_runtime=fused_by_cell[(density, g)],
                 ))
     return Figure11Result(points=tuple(points))
 
@@ -179,3 +204,49 @@ def _measured_point(
     t_engine = best_of(lambda: execute_program(compiled.program, batch), repeats=repeats)
     t_dense = best_of(lambda: flat @ batch.T, repeats=repeats)
     return t_engine / t_dense
+
+
+def _fused_measured_point(
+    shape: ConvShape,
+    group_size: int,
+    density: float,
+    num_unique: int,
+    batch: int = 8,
+    repeats: int = 3,
+) -> float:
+    """Design point: measured fused/dense wall-clock ratio of one cell.
+
+    Wraps the synthetic layer in a single-layer
+    :class:`~repro.nn.network.Network`, lowers it through
+    :func:`repro.engine.compile_network`, and times the fused executor
+    over a seeded image batch against the per-image dense convolution —
+    both sides pay their own im2col, so the ratio reflects end-to-end
+    activation-in/output-out cost.  The spatial extent is capped at
+    16x16 (weights and G are the cell's own) to keep the sweep
+    affordable; parity is asserted before timing anything.
+    """
+    from repro.engine import compile_network, execute_network
+    from repro.experiments.common import best_of
+    from repro.nn.layers import ConvLayer
+    from repro.nn.network import Network
+    from repro.nn.reference import conv2d_im2col
+
+    small = shape.with_input(min(shape.h, 16), min(shape.w, 16))
+    weights = uniform_weight_provider(num_unique, density, tag="fig11")(small)
+    layer = ConvLayer(small, weights)
+    layer.engine_group_size = group_size
+    network = Network(f"fig11-fused-G{group_size}", small.input_shape, [layer])
+    program = compile_network(network, group_size=group_size)
+    rng = np.random.default_rng(2018)
+    images = rng.integers(-128, 129, size=(batch, *small.input_shape.as_tuple()))
+
+    def dense() -> np.ndarray:
+        return np.stack([
+            conv2d_im2col(img, weights, small.stride, small.padding) for img in images
+        ])
+
+    if not np.array_equal(execute_network(program, images), dense()):
+        raise RuntimeError("fused/dense parity failure in fig11 fused point")
+    t_fused = best_of(lambda: execute_network(program, images), repeats=repeats)
+    t_dense = best_of(dense, repeats=repeats)
+    return t_fused / t_dense

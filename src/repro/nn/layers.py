@@ -126,13 +126,16 @@ class ConvLayer(Layer):
         """
         inputs = np.asarray(inputs)
         sh = self.shape
+        batch_shape = "(N, " + ", ".join(str(d) for d in sh.input_shape.as_tuple()) + ")"
         if inputs.ndim != 4 or inputs.shape[1:] != sh.input_shape.as_tuple():
             raise ValueError(
-                f"layer {self.name!r}: expected batch (N, {sh.input_shape.as_tuple()}), "
-                f"got {inputs.shape}"
+                f"layer {self.name!r}: expected batch {batch_shape}, got {inputs.shape}"
             )
         if inputs.shape[0] == 0:
-            raise ValueError(f"layer {self.name!r}: empty batch (N=0) is not supported")
+            raise ValueError(
+                f"layer {self.name!r}: empty batch (N=0) is not supported; "
+                f"expected {batch_shape} with N >= 1"
+            )
         # The engine computes in int64; the per-image reference only
         # promotes kind-'i' operands, so restrict the fast path to
         # signed ints — anything else (float, unsigned with its wraparound

@@ -62,29 +62,60 @@ class Network:
             out = layer.forward(out)
         return out
 
-    def forward_batch(self, inputs: np.ndarray) -> np.ndarray:
+    def forward_batch(
+        self,
+        inputs: np.ndarray,
+        fused: bool = False,
+        threads: int = 1,
+        sparse: bool | str = "auto",
+    ) -> np.ndarray:
         """Run inference over a batch of images at once.
 
-        Convolutional layers with integer weights execute their compiled
-        table program (:mod:`repro.engine`) over every window of every
-        image in one segment scan — the program is lowered once and
-        reused across the whole batch.  Output is bit-identical to
+        With ``fused=False`` (default), each layer's ``forward_batch``
+        runs in turn; convolutional layers with integer weights execute
+        their compiled table program (:mod:`repro.engine`) over every
+        window of every image in one segment scan.  With ``fused=True``
+        the whole network is lowered into one memoized
+        :class:`~repro.engine.fusion.NetworkProgram` — intermediates
+        live in preallocated reused buffers, each conv layer's segment
+        scan fans out across ``threads`` workers, and zero activations
+        can be skipped (``sparse``).  Both paths are bit-identical to
         stacking :meth:`forward` per image.
 
         Args:
             inputs: ``(N, C, H, W)`` batch matching the input shape.
+            fused: execute through the fused whole-network program.
+            threads: worker threads for the fused executor (ignored when
+                ``fused=False``); output is bit-identical for every
+                thread count.
+            sparse: fused-path sparse-activation gather mode (``False``
+                / ``True`` / ``"auto"``; see
+                :func:`repro.engine.execute_network`).
 
         Returns:
-            ``(N, *output_shape)`` stacked outputs.
+            ``(N, *output_shape)`` stacked int64 outputs.
+
+        Raises:
+            ValueError: on a shape mismatch or an empty batch, and on
+                the fused path for float or unsigned weights/inputs.
         """
         inputs = np.asarray(inputs)
         expected = self.input_shape.as_tuple()
+        batch_shape = "(N, " + ", ".join(str(d) for d in expected) + ")"
         if inputs.ndim != 4 or inputs.shape[1:] != expected:
             raise ValueError(
-                f"network {self.name!r}: expected batch (N, {expected}), got {inputs.shape}"
+                f"network {self.name!r}: expected batch {batch_shape}, got {inputs.shape}"
             )
         if inputs.shape[0] == 0:
-            raise ValueError(f"network {self.name!r}: empty batch (N=0) is not supported")
+            raise ValueError(
+                f"network {self.name!r}: empty batch (N=0) is not supported; "
+                f"expected {batch_shape} with N >= 1"
+            )
+        if fused:
+            from repro.engine import compile_network, execute_network
+
+            program = compile_network(self)
+            return execute_network(program, inputs, threads=threads, sparse=sparse)
         out = inputs
         for layer in self.layers:
             out = layer.forward_batch(out)

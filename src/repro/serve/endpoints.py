@@ -215,6 +215,102 @@ def factorize(
     }
 
 
+@register("network_forward")
+def network_forward(
+    c: int = 8,
+    size: int = 12,
+    k1: int = 8,
+    k2: int = 8,
+    classes: int = 10,
+    u: int = 17,
+    group_size: int = 2,
+    density: float = 0.9,
+    seed: int = 0,
+    batch: int = 4,
+    threads: int = 1,
+    sparse: str = "auto",
+) -> dict:
+    """Run a synthetic network through the fused engine, end to end.
+
+    Builds a small conv/relu/pool/conv/relu/flatten/fc network with
+    INQ-like synthetic weights, lowers it through
+    :func:`repro.engine.compile_network`, executes a seeded image batch
+    with the fused executor, and verifies bit-identity against the
+    per-layer ``forward_batch`` path — the serving-facing proof that the
+    whole-network fast path computes the real thing.
+
+    Args:
+        c/size: input channels and spatial extent.
+        k1/k2: filter counts of the two conv layers.
+        classes: output features of the final FC layer.
+        u: unique-weight alphabet size.
+        group_size: UCNN filter-group size G for the conv layers.
+        density: weight density.
+        seed: RNG seed for weights and activations.
+        batch: images in the batch.
+        threads: fused-executor worker threads.
+        sparse: sparse-activation gather mode ("auto", "always", "never").
+
+    Returns:
+        dict with parity against the per-layer path, an output checksum
+        (stable across runs), the fused program's geometry (steps,
+        shards, cache key), and the batch/thread configuration.
+    """
+    import hashlib
+
+    import numpy as np
+
+    from repro.engine import compile_network, execute_network
+    from repro.nn.layers import (
+        ConvLayer,
+        FlattenLayer,
+        FullyConnectedLayer,
+        MaxPoolLayer,
+        ReluLayer,
+    )
+    from repro.nn.network import Network
+    from repro.nn.tensor import ConvShape, TensorShape
+    from repro.quant.distributions import uniform_unique_weights
+
+    sparse_mode = {"auto": "auto", "always": True, "never": False}.get(sparse)
+    if sparse_mode is None:
+        raise ValueError(f"sparse must be 'auto', 'always', or 'never', got {sparse!r}")
+    rng = np.random.default_rng(seed)
+    s1 = ConvShape(name="conv1", w=size, h=size, c=c, k=k1, r=3, s=3, padding=1)
+    conv1 = ConvLayer(s1, uniform_unique_weights(s1.weight_shape, u, density, rng).values)
+    conv1.engine_group_size = group_size
+    pooled = MaxPoolLayer(2, 2).output_shape(s1.output_shape)
+    s2 = ConvShape(name="conv2", w=pooled.w, h=pooled.h, c=pooled.c, k=k2, r=3, s=3, padding=1)
+    conv2 = ConvLayer(s2, uniform_unique_weights(s2.weight_shape, u, density, rng).values)
+    conv2.engine_group_size = group_size
+    features = s2.output_shape.size
+    fc = FullyConnectedLayer(
+        classes, features,
+        uniform_unique_weights((classes, features), u, density, rng).values, name="fc",
+    )
+    network = Network("serve-fused", TensorShape(c, size, size), [
+        conv1, ReluLayer("relu1"), MaxPoolLayer(2, 2, "pool1"),
+        conv2, ReluLayer("relu2"), FlattenLayer("flatten"), fc,
+    ])
+    images = rng.integers(-16, 17, size=(batch, c, size, size))
+    program = compile_network(network, group_size=group_size)
+    fused = execute_network(program, images, threads=threads, sparse=sparse_mode)
+    reference = network.forward_batch(images)
+    return {
+        "parity": bool(np.array_equal(fused, reference)),
+        "out_shape": list(fused.shape),
+        "out_checksum": hashlib.sha256(np.ascontiguousarray(fused).tobytes()).hexdigest()[:16],
+        "steps": program.num_steps,
+        "conv_shards": [
+            len(step.shards) for step in program.steps if hasattr(step, "shards")
+        ],
+        "program_key": program.key,
+        "batch": int(batch),
+        "threads": int(threads),
+        "sparse": sparse,
+    }
+
+
 @register("engine_forward")
 def engine_forward(
     k: int = 8,

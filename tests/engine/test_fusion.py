@@ -1,0 +1,283 @@
+"""Unit tests for whole-network fusion (:mod:`repro.engine.fusion`).
+
+The property suite (``test_fusion_properties.py``) pins the math; this
+file pins the machinery around it — compilation and memoization, the
+``net:`` key schema, shard partitioning with empty groups, error-message
+contracts shared with :class:`FactorizedConv`, fallback steps, buffer
+slicing, and the serve endpoint riding on top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.factorized import FactorizedConv
+from repro.engine import (
+    NetworkProgram,
+    clear_program_cache,
+    compile_network,
+    execute_network,
+    network_program_key,
+)
+from repro.engine.fusion import ConvStep, FallbackStep
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    MaxPoolLayer,
+    ReluLayer,
+)
+from repro.nn.network import Network
+from repro.nn.tensor import ConvShape, TensorShape
+
+
+def small_network(rng, c=3, size=10, k1=6, k2=5, classes=4):
+    """conv-relu-maxpool-conv-relu-avgpool-flatten-fc with int weights."""
+    s1 = ConvShape(name="c1", w=size, h=size, c=c, k=k1, r=3, s=3, padding=1)
+    conv1 = ConvLayer(s1, rng.integers(-3, 4, size=s1.weight_shape).astype(np.int64))
+    pooled = MaxPoolLayer(2, 2).output_shape(s1.output_shape)
+    s2 = ConvShape(name="c2", w=pooled.w, h=pooled.h, c=pooled.c, k=k2, r=3, s=3)
+    conv2 = ConvLayer(s2, rng.integers(-2, 3, size=s2.weight_shape).astype(np.int64))
+    shape = AvgPoolLayer(2, 2).output_shape(s2.output_shape)
+    features = shape.size
+    fc = FullyConnectedLayer(
+        classes, features, rng.integers(-4, 5, size=(classes, features)).astype(np.int64)
+    )
+    return Network("fusion-test", TensorShape(c, size, size), [
+        conv1, ReluLayer("r1"), MaxPoolLayer(2, 2, "p1"),
+        conv2, ReluLayer("r2"), AvgPoolLayer(2, 2, "p2"),
+        FlattenLayer("fl"), fc,
+    ])
+
+
+def batch_for(network, rng, n=4):
+    return rng.integers(-8, 9, size=(n, *network.input_shape.as_tuple())).astype(np.int64)
+
+
+class TestCompile:
+    def test_fused_matches_per_layer_and_stacked_forward(self, rng):
+        net = small_network(rng)
+        x = batch_for(net, rng)
+        per_layer = net.forward_batch(x)
+        stacked = np.stack([net.forward(img) for img in x])
+        assert np.array_equal(per_layer, stacked)
+        assert np.array_equal(net.forward_batch(x, fused=True), per_layer)
+
+    def test_compile_network_is_memoized(self, rng):
+        net = small_network(rng)
+        assert compile_network(net) is compile_network(net)
+
+    def test_key_schema_and_rotation(self, rng):
+        net = small_network(rng)
+        key = network_program_key(net)
+        assert key.startswith("net:g*:m16:c1:s8:")
+        assert key == compile_network(net).key
+        # Any lowering parameter rotates the key prefix...
+        assert network_program_key(net, group_size=4).startswith("net:g4:")
+        assert network_program_key(net, shards=2).startswith("net:g*:m16:c1:s2:")
+        # ...and touching any layer's weights rotates the digest.
+        net.layers[0].set_weights(net.layers[0].weights + 1)
+        assert network_program_key(net) != key
+
+    def test_group_size_override_is_honoured(self, rng):
+        net = small_network(rng)
+        x = batch_for(net, rng)
+        ref = net.forward_batch(x)
+        for g in (1, 3, 8):
+            program = compile_network(net, group_size=g)
+            assert np.array_equal(execute_network(program, x), ref)
+
+    def test_shards_partition_is_disjoint_and_exhaustive(self, rng):
+        net = small_network(rng)
+        program = compile_network(net)
+        conv_steps = [s for s in program.steps if isinstance(s, ConvStep)]
+        assert conv_steps, "network should lower conv steps"
+        for step in conv_steps:
+            rows = []
+            for spec in step.shards:
+                assert spec.row_lo < spec.row_hi
+                rows.extend(range(spec.row_lo, spec.row_hi))
+            assert rows == list(range(step.out_shape[0]))
+
+    def test_shard_count_is_capped_by_group_count(self, rng):
+        net = small_network(rng, k1=4)  # G=2 -> only 2 groups in conv1
+        program = compile_network(net, shards=8)
+        first_conv = next(s for s in program.steps if isinstance(s, ConvStep))
+        assert len(first_conv.shards) == 2
+
+    def test_grouped_conv_lowers_to_fallback(self, rng):
+        sg = ConvShape(name="gc", w=6, h=6, c=2, k=4, r=3, s=3, groups=2, padding=1)
+        layer = ConvLayer(sg, rng.integers(-2, 3, size=sg.weight_shape).astype(np.int64))
+        net = Network("grouped", TensorShape(4, 6, 6), [layer, ReluLayer()])
+        program = compile_network(net)
+        assert isinstance(program.steps[0], FallbackStep)
+        x = rng.integers(-4, 5, size=(3, 4, 6, 6)).astype(np.int64)
+        assert np.array_equal(execute_network(program, x), net.forward_batch(x))
+
+    def test_empty_network_passthrough(self, rng):
+        net = Network("empty", TensorShape(2, 3, 3), [])
+        x = rng.integers(-4, 5, size=(2, 2, 3, 3)).astype(np.int64)
+        assert np.array_equal(net.forward_batch(x, fused=True), x)
+
+    def test_describe_mentions_every_step(self, rng):
+        net = small_network(rng)
+        text = compile_network(net).describe()
+        assert "NetworkProgram" in text and "shard(s)" in text
+        for layer in net.layers:
+            assert repr(layer.name) in text
+
+    def test_program_survives_cache_clear(self, rng):
+        net = small_network(rng)
+        x = batch_for(net, rng)
+        ref = net.forward_batch(x)
+        clear_program_cache()
+        program = compile_network(net)
+        assert isinstance(program, NetworkProgram)
+        assert np.array_equal(execute_network(program, x), ref)
+
+
+class TestErrors:
+    def test_float_weights_use_factorized_conv_message(self, rng):
+        s = ConvShape(name="c", w=6, h=6, c=2, k=4, r=3, s=3)
+        net = Network("f", TensorShape(2, 6, 6), [ConvLayer(s, rng.normal(size=s.weight_shape))])
+        with pytest.raises(ValueError) as fused_err:
+            compile_network(net)
+        with pytest.raises(ValueError) as factorized_err:
+            FactorizedConv(rng.normal(size=(4, 2, 3, 3)), group_size=2)
+        assert str(fused_err.value) == str(factorized_err.value)
+
+    def test_float_inputs_use_factorized_conv_message(self, rng):
+        net = small_network(rng)
+        with pytest.raises(ValueError, match=r"FactorizedConv requires integer inputs"):
+            net.forward_batch(rng.normal(size=(2, *net.input_shape.as_tuple())), fused=True)
+
+    def test_unsigned_weights_rejected(self, rng):
+        s = ConvShape(name="c", w=6, h=6, c=2, k=4, r=3, s=3)
+        net = Network("u", TensorShape(2, 6, 6), [
+            ConvLayer(s, rng.integers(0, 5, size=s.weight_shape, dtype=np.uint8)),
+        ])
+        with pytest.raises(ValueError, match="unsigned weights"):
+            compile_network(net)
+
+    def test_unsigned_inputs_rejected(self, rng):
+        net = small_network(rng)
+        x = rng.integers(0, 9, size=(2, *net.input_shape.as_tuple()), dtype=np.uint8)
+        with pytest.raises(ValueError, match="unsigned activations"):
+            net.forward_batch(x, fused=True)
+
+    def test_bad_sparse_mode_rejected(self, rng):
+        net = small_network(rng)
+        with pytest.raises(ValueError, match="sparse must be"):
+            net.forward_batch(batch_for(net, rng), fused=True, sparse="sometimes")
+
+    def test_shape_and_empty_batch_messages_name_flat_shape(self, rng):
+        net = small_network(rng)
+        program = compile_network(net)
+        c, h, w = net.input_shape.as_tuple()
+        with pytest.raises(ValueError, match=rf"expected batch \(N, {c}, {h}, {w}\)"):
+            execute_network(program, np.zeros((2, c + 1, h, w), dtype=np.int64))
+        with pytest.raises(ValueError, match=rf"empty batch.*\(N, {c}, {h}, {w}\)"):
+            execute_network(program, np.zeros((0, c, h, w), dtype=np.int64))
+
+    def test_missing_weights_raise(self, rng):
+        s = ConvShape(name="c", w=6, h=6, c=2, k=4, r=3, s=3)
+        net = Network("nw", TensorShape(2, 6, 6), [ConvLayer(s)])
+        with pytest.raises(RuntimeError, match="no weights"):
+            compile_network(net)
+
+
+class TestExecution:
+    def test_thread_counts_are_bit_identical(self, rng):
+        net = small_network(rng)
+        x = batch_for(net, rng, n=6)
+        ref = net.forward_batch(x)
+        outs = [net.forward_batch(x, fused=True, threads=t) for t in (1, 2, 8)]
+        for out in outs:
+            assert np.array_equal(out, ref)
+
+    def test_repeated_runs_are_bit_identical(self, rng):
+        net = small_network(rng)
+        x = batch_for(net, rng)
+        program = compile_network(net)
+        first = execute_network(program, x, threads=4)
+        for threads in (1, 2, 4, 8):
+            assert np.array_equal(execute_network(program, x, threads=threads), first)
+
+    def test_sparse_modes_are_bit_identical(self, rng):
+        net = small_network(rng)
+        x = batch_for(net, rng)
+        x[rng.random(x.shape) < 0.7] = 0  # engage the auto threshold
+        ref = net.forward_batch(x)
+        for sparse in (False, True, "auto"):
+            assert np.array_equal(net.forward_batch(x, fused=True, sparse=sparse), ref)
+
+    def test_all_zero_batch(self, rng):
+        net = small_network(rng)
+        x = np.zeros((3, *net.input_shape.as_tuple()), dtype=np.int64)
+        ref = net.forward_batch(x)
+        for sparse in (False, True, "auto"):
+            assert np.array_equal(net.forward_batch(x, fused=True, sparse=sparse), ref)
+
+    def test_tiny_budget_forces_multi_slice_execution(self, rng, monkeypatch):
+        from repro.engine import executor
+
+        net = small_network(rng)
+        x = batch_for(net, rng, n=7)
+        ref = net.forward_batch(x)
+        monkeypatch.setattr(executor, "CHUNK_BUDGET_ELEMS", 1)
+        assert compile_network(net).plan.images_per_slice() == 1
+        assert np.array_equal(net.forward_batch(x, fused=True, threads=2), ref)
+
+    def test_zero_entry_groups_write_zero_rows(self, rng):
+        """Buffer reuse must not leak garbage into all-zero filters."""
+        s = ConvShape(name="c", w=6, h=6, c=2, k=6, r=3, s=3, padding=1)
+        weights = rng.integers(-2, 3, size=s.weight_shape).astype(np.int64)
+        weights[2:4] = 0  # one whole G=2 group is empty
+        net = Network("zg", TensorShape(2, 6, 6), [ConvLayer(s, weights), ReluLayer()])
+        x = batch_for(net, rng)
+        fused = net.forward_batch(x, fused=True)
+        assert np.array_equal(fused, net.forward_batch(x))
+        assert not fused[:, 2:4].any()
+
+    def test_int8_inputs_accepted(self, rng):
+        net = small_network(rng)
+        x = rng.integers(-8, 9, size=(3, *net.input_shape.as_tuple()), dtype=np.int8)
+        assert np.array_equal(net.forward_batch(x, fused=True), net.forward_batch(x))
+
+
+class TestServeEndpoint:
+    def test_network_forward_parity_and_stability(self):
+        from repro.serve.endpoints import resolve
+
+        first = resolve("network_forward")()
+        again = resolve("network_forward")()
+        assert first["parity"] is True
+        assert first["out_checksum"] == again["out_checksum"]
+        assert first["program_key"].startswith("net:")
+
+    def test_network_forward_threads_and_sparse_do_not_change_bits(self):
+        from repro.serve.endpoints import resolve
+
+        base = resolve("network_forward")()
+        threaded = resolve("network_forward")(threads=4, sparse="always")
+        assert threaded["parity"] is True
+        assert threaded["out_checksum"] == base["out_checksum"]
+
+    def test_network_forward_rejects_bad_sparse(self):
+        from repro.serve.endpoints import resolve
+
+        with pytest.raises(ValueError, match="sparse must be"):
+            resolve("network_forward")(sparse="maybe")
+
+
+class TestFig11FusedSeries:
+    def test_fused_measured_series_present(self):
+        from repro.experiments.fig11_runtime import run
+
+        shape = ConvShape(name="t", w=10, h=10, c=4, k=4, r=3, s=3, padding=1)
+        result = run(
+            group_sizes=(1, 2), densities=(0.5,), shape=shape, fused_measured=True
+        )
+        fused = [p for p in result.points if p.design.endswith("fused")]
+        assert {p.design for p in fused} == {"UCNN G1 fused", "UCNN G2 fused"}
+        assert all(p.normalized_runtime > 0 for p in fused)

@@ -1,0 +1,102 @@
+"""Hypothesis properties: fused ≡ per-layer engine ≡ dense.
+
+The fused whole-network executor must be *bit-identical* to the
+per-layer ``forward_batch`` path and to stacking the dense per-image
+``forward`` — across group sizes 1..8 (including ragged ``K % G``
+layers), zero-heavy activations that trip the sparse-gather path, every
+thread count, and repeated runs.  Thread shards own disjoint output
+rows, so bit-identity across thread counts is a hard determinism
+contract, not a tolerance.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import compile_network, execute_network
+from repro.nn.layers import (
+    AvgPoolLayer,
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    MaxPoolLayer,
+    ReluLayer,
+)
+from repro.nn.network import Network
+from repro.nn.tensor import ConvShape, TensorShape
+
+
+@st.composite
+def _network_case(draw):
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    c = draw(st.integers(min_value=1, max_value=4))
+    size = draw(st.integers(min_value=5, max_value=10))
+    group_size = draw(st.integers(min_value=1, max_value=8))
+    # k deliberately not rounded to G so ragged K % G groups are common.
+    k1 = draw(st.integers(min_value=1, max_value=9))
+    padding = draw(st.integers(min_value=0, max_value=1))
+    stride = draw(st.integers(min_value=1, max_value=2))
+    # Zero-heavy weights exercise dead segments and empty groups;
+    # zero-heavy activations exercise the sparse gather path.
+    weight_zero_frac = draw(st.sampled_from([0.0, 0.3, 0.9]))
+    act_zero_frac = draw(st.sampled_from([0.0, 0.5, 0.95]))
+
+    def conv(name, w, h, cin, k):
+        shape = ConvShape(name=name, w=w, h=h, c=cin, k=k, r=3, s=3,
+                          stride=stride, padding=padding)
+        weights = rng.integers(-3, 4, size=shape.weight_shape).astype(np.int64)
+        weights[rng.random(weights.shape) < weight_zero_frac] = 0
+        layer = ConvLayer(shape, weights)
+        layer.engine_group_size = group_size
+        return layer
+
+    layers = [conv("c1", size, size, c, k1)]
+    shape = layers[0].shape.output_shape
+    if draw(st.booleans()):
+        layers.append(ReluLayer("r1"))
+    if draw(st.booleans()) and shape.h >= 2 and shape.w >= 2:
+        pool = draw(st.sampled_from([MaxPoolLayer, AvgPoolLayer]))(2, 2, "p1")
+        layers.append(pool)
+        shape = pool.output_shape(shape)
+    if draw(st.booleans()) and shape.h >= 3 and shape.w >= 3:
+        layers.append(conv("c2", shape.w, shape.h, shape.c,
+                           draw(st.integers(min_value=1, max_value=6))))
+        shape = layers[-1].shape.output_shape
+    if draw(st.booleans()):
+        layers.append(FlattenLayer("fl"))
+        layers.append(FullyConnectedLayer(
+            3, shape.size, rng.integers(-2, 3, size=(3, shape.size)).astype(np.int64),
+            name="fc",
+        ))
+    network = Network("prop", TensorShape(c, size, size), layers)
+    n = draw(st.integers(min_value=1, max_value=4))
+    images = rng.integers(-8, 9, size=(n, c, size, size)).astype(np.int64)
+    images[rng.random(images.shape) < act_zero_frac] = 0
+    threads = draw(st.sampled_from([1, 2, 8]))
+    sparse = draw(st.sampled_from([False, True, "auto"]))
+    return network, group_size, images, threads, sparse
+
+
+@settings(max_examples=40, deadline=None)
+@given(_network_case())
+def test_fused_equals_per_layer_equals_dense(case):
+    network, group_size, images, threads, sparse = case
+    per_layer = network.forward_batch(images)
+    dense = np.stack([network.forward(img) for img in images])
+    assert np.array_equal(per_layer, dense)
+    program = compile_network(network, group_size=group_size)
+    fused = execute_network(program, images, threads=threads, sparse=sparse)
+    assert np.array_equal(fused, per_layer)
+
+
+@settings(max_examples=15, deadline=None)
+@given(_network_case())
+def test_fused_is_deterministic_across_thread_counts(case):
+    network, group_size, images, __, sparse = case
+    program = compile_network(network, group_size=group_size)
+    runs = [
+        execute_network(program, images, threads=threads, sparse=sparse)
+        for threads in (1, 2, 8, 2, 1)
+    ]
+    for out in runs[1:]:
+        assert np.array_equal(out, runs[0])

@@ -75,9 +75,33 @@ class TestForward:
         with pytest.raises(ValueError, match="expected batch"):
             tiny_network().forward_batch(np.zeros((2, 1, 6, 6), dtype=np.int64))
 
+    def test_forward_batch_shape_error_names_flat_batch_shape(self):
+        """The message spells (N, C, H, W), not a nested (N, (C, H, W))."""
+        with pytest.raises(ValueError, match=r"expected batch \(N, 2, 6, 6\)"):
+            tiny_network().forward_batch(np.zeros((2, 1, 6, 6), dtype=np.int64))
+
     def test_forward_batch_empty_batch_clear_error(self):
-        with pytest.raises(ValueError, match="empty batch"):
+        with pytest.raises(ValueError, match=r"empty batch.*expected \(N, 2, 6, 6\)"):
             tiny_network().forward_batch(np.zeros((0, 2, 6, 6), dtype=np.int64))
+
+    def test_forward_batch_fused_matches_per_layer(self, rng):
+        net = tiny_network()
+        net.layers[0].set_weights(rng.integers(-2, 3, size=(3, 2, 3, 3)))
+        net.layers[3].set_weights(rng.integers(-2, 3, size=(4, 108)))
+        batch = rng.integers(-5, 6, size=(5, 2, 6, 6))
+        ref = net.forward_batch(batch)
+        for threads in (1, 2, 8):
+            for sparse in (False, True, "auto"):
+                fused = net.forward_batch(batch, fused=True, threads=threads, sparse=sparse)
+                assert np.array_equal(fused, ref)
+
+    def test_forward_batch_fused_float_weights_raise_factorized_message(self, rng):
+        net = tiny_network()
+        net.layers[0].set_weights(rng.normal(size=(3, 2, 3, 3)))
+        net.layers[3].set_weights(rng.normal(size=(4, 108)))
+        batch = rng.integers(0, 5, size=(3, 2, 6, 6))
+        with pytest.raises(ValueError, match="FactorizedConv requires integer weights"):
+            net.forward_batch(batch, fused=True)
 
     def test_forward_batch_image_chunking_is_bit_identical(self, rng, monkeypatch):
         """A tiny column budget forces multi-slice execution; same bits."""
