@@ -8,9 +8,15 @@ content-addressed cache, so throughput should sit far above the cold
 pass (>= 5x is the tracked floor at full scale).
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the workload and relaxes the floor
-(CI containers have noisy timers and tiny core counts).
+(CI containers have noisy timers and tiny core counts).  When
+``REPRO_BENCH_SERVE_JSON`` is set (nightly CI), the full pass stats —
+including the shed/error counters the load generator now tracks — are
+written there as the ``BENCH_serve.json`` artifact.
 """
 
+import dataclasses
+import json
+import os
 import tempfile
 
 from conftest import run_once, smoke_mode
@@ -38,16 +44,22 @@ def test_bench_serve_cold_vs_warm(benchmark, record_result):
     speedup = warm.throughput_rps / cold.throughput_rps
     rows = [
         (name, s.requests, f"{s.throughput_rps:.0f}", f"{s.p50_ms:.2f}",
-         f"{s.p99_ms:.2f}", f"{s.hit_rate:.0%}")
+         f"{s.p99_ms:.2f}", f"{s.hit_rate:.0%}", s.shed, s.errors)
         for name, s in (("cold", cold), ("warm", warm))
     ]
-    rows.append(("warm/cold", "", f"{speedup:.1f}x", "", "", ""))
+    rows.append(("warm/cold", "", f"{speedup:.1f}x", "", "", "", "", ""))
     record_result(
         "serve_cold_vs_warm",
-        ("pass", "requests", "rps", "p50 ms", "p99 ms", "hit rate"),
+        ("pass", "requests", "rps", "p50 ms", "p99 ms", "hit rate", "shed", "errors"),
         rows,
         data=passes,
     )
+    artifact = os.environ.get("REPRO_BENCH_SERVE_JSON")
+    if artifact:
+        with open(artifact, "w") as fh:
+            json.dump({name: dataclasses.asdict(s)
+                       for name, s in passes.items()}, fh, indent=2, sort_keys=True)
+    assert cold.shed == 0 and warm.shed == 0
     assert cold.errors == 0 and warm.errors == 0
     assert warm.hit_rate == 1.0
     # Warm throughput must clear the floor: 5x at full scale, 2x under

@@ -16,7 +16,12 @@ Commands:
 * ``cache-peer`` — run an HTTP cache peer other machines point
   ``--remote-cache`` at (LRU byte budget via ``--max-bytes``);
 * ``serve`` — run the async batched serving layer (``repro.serve``)
-  until interrupted; also accepts ``--remote-cache URL``;
+  until interrupted; also accepts ``--remote-cache URL`` and
+  ``--secret`` (HMAC-authenticated requests only);
+* ``frontend`` — run a fabric front-end (``repro.fabric``): workers
+  join it, clients get hash-ring routing + admission control;
+* ``worker`` — run a serve process that joins a front-end
+  (``--join HOST:PORT``) and heartbeats until stopped;
 * ``bench-serve`` — closed-loop load generator against an in-process
   server; reports p50/p99 latency, throughput, and the warm-over-cold
   speedup, optionally writing a ``BENCH_serve.json`` artifact;
@@ -34,8 +39,13 @@ Examples::
     python -m repro.cli cache push http://peer:8601
     python -m repro.cli cache info
     python -m repro.cli serve --workers 4 --port 8537
+    python -m repro.cli frontend --port 8640 --max-inflight 64
+    python -m repro.cli worker --join 127.0.0.1:8640 --workers 2
     python -m repro.cli bench-serve --requests 200 --verify --json BENCH_serve.json
     python -m repro.cli factorize --u 17 --density 0.9 --c 64
+
+Fabric commands read the shared HMAC secret from ``--secret`` or the
+``REPRO_FABRIC_SECRET`` environment variable (see ``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -325,13 +335,18 @@ def cmd_cache_peer(args: argparse.Namespace) -> int:
     opaque result blobs under the content-addressed key schema, with
     the same LRU byte-budget eviction the local cache uses.
     """
+    from repro.fabric.auth import default_secret
     from repro.runtime import CachePeer
 
     peer = CachePeer(root=args.cache_dir, host=args.host, port=args.port,
-                     max_bytes=args.max_bytes)
+                     max_bytes=args.max_bytes, upstream=args.upstream,
+                     secret=args.secret or default_secret())
     budget = f"{args.max_bytes} bytes" if args.max_bytes is not None else "unbounded"
+    extras = f", auth: {'HMAC' if peer.secret else 'open'}"
+    if args.upstream:
+        extras += f", upstream: {args.upstream}"
     print(f"cache peer listening on http://{args.host}:{peer.port} "
-          f"(root: {peer.cache.root}, budget: {budget}); Ctrl-C to stop",
+          f"(root: {peer.cache.root}, budget: {budget}{extras}); Ctrl-C to stop",
           flush=True)
     try:
         peer.serve_forever()
@@ -346,22 +361,31 @@ def cmd_cache_peer(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the async batched serving layer until interrupted."""
-    import time
-
-    from repro.serve import ServeConfig, ServerHandle
+def _serve_config_from(args: argparse.Namespace) -> "object":
+    """Build a :class:`~repro.serve.ServeConfig` from serve/worker args."""
+    from repro.fabric.auth import default_secret
+    from repro.serve import ServeConfig
 
     if args.no_cache and args.remote_cache:
         raise SystemExit("--remote-cache rides the local cache; drop --no-cache")
-    config = ServeConfig(
+    return ServeConfig(
         host=args.host, port=args.port, workers=args.workers, mode=args.mode,
         max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
         cache_dir=args.cache_dir, cache_enabled=not args.no_cache,
         cache_max_bytes=(int(args.cache_budget_mb * 1024 * 1024)
                          if args.cache_budget_mb is not None else None),
         remote_cache=args.remote_cache,
+        auth_secret=args.secret or default_secret(),
     )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async batched serving layer until interrupted."""
+    import time
+
+    from repro.serve import ServerHandle
+
+    config = _serve_config_from(args)
     handle = ServerHandle(config).start()
     where = config.cache_dir or "default cache dir" if not args.no_cache else "off"
     if args.remote_cache and not args.no_cache:
@@ -379,6 +403,100 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"\nserved {stats['requests']} request(s): {stats['hits']} hits, "
               f"{stats['misses']} ran, {stats['coalesced']} coalesced, "
               f"{stats['errors']} error(s)")
+    return 0
+
+
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` CLI argument."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"expected HOST:PORT, got {text!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def _parse_rates(pairs: list[str]) -> dict[str, float] | None:
+    """Parse repeated ``--rate PRIORITY=RPS`` arguments."""
+    if not pairs:
+        return None
+    rates: dict[str, float] = {}
+    for pair in pairs:
+        priority, sep, rps = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"expected PRIORITY=RPS, got {pair!r}")
+        try:
+            rates[priority] = float(rps)
+        except ValueError:
+            raise SystemExit(f"bad rate {rps!r} in {pair!r}") from None
+    return rates
+
+
+def cmd_frontend(args: argparse.Namespace) -> int:
+    """Run a fabric front-end until interrupted.
+
+    Workers join with ``repro worker --join HOST:PORT``; clients speak
+    the ordinary serve wire protocol to this address and get hash-ring
+    routing, admission control, and failover for free.
+    """
+    import time
+
+    from repro.fabric import FrontendConfig, FrontendHandle, default_secret
+
+    config = FrontendConfig(
+        host=args.host, port=args.port,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_inflight=args.max_inflight,
+        rates=_parse_rates(args.rate),
+        forward_timeout=args.forward_timeout,
+        auth_secret=args.secret or default_secret(),
+    )
+    handle = FrontendHandle(config).start()
+    auth = "HMAC" if config.auth_secret else "open"
+    print(f"fabric front-end on {config.host}:{handle.port} "
+          f"(max inflight {config.max_inflight}, heartbeat timeout "
+          f"{config.heartbeat_timeout}s, auth: {auth}); Ctrl-C to stop", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.stop()
+        stats = handle.stats()
+        admission = stats["admission"]
+        print(f"\nrouted {stats['forwarded']} request(s) "
+              f"({stats['retries']} retried, {stats['forward_errors']} worker failure(s), "
+              f"{admission['shed_total']} shed, {stats['auth_rejected']} auth-rejected); "
+              f"{stats['membership']['evictions']} eviction(s)")
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run a serve process joined to a fabric front-end."""
+    import time
+
+    from repro.fabric import WorkerNode
+
+    frontend_host, frontend_port = _parse_hostport(args.join)
+    config = _serve_config_from(args)
+    node = WorkerNode(
+        config, frontend_host, frontend_port,
+        worker_id=args.worker_id, advertise_host=args.advertise_host,
+    ).start()
+    print(f"fabric worker {node.worker_id!r} serving on {config.host}:{node.port}, "
+          f"joined {frontend_host}:{frontend_port} "
+          f"(heartbeat every {node.heartbeat_interval:.2f}s); Ctrl-C to stop", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        node.stop()
+        stats = node.stats()
+        print(f"\nserved {stats['requests']} request(s): {stats['hits']} hits, "
+              f"{stats['misses']} ran, {stats['coalesced']} coalesced, "
+              f"{stats['errors']} error(s); {node.heartbeats_sent} heartbeat(s), "
+              f"{node.rejoins} rejoin(s)")
     return 0
 
 
@@ -438,10 +556,12 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     if args.min_warm_speedup is not None and speedup < args.min_warm_speedup:
         failures.append(f"warm speedup {speedup:.1f}x < required {args.min_warm_speedup}x")
 
-    headers = ("pass", "requests", "rps", "p50 ms", "p90 ms", "p99 ms", "hit rate")
+    headers = ("pass", "requests", "rps", "p50 ms", "p90 ms", "p99 ms",
+               "hit rate", "shed", "errors")
     rows = [
         (name, s.requests, f"{s.throughput_rps:.0f}", f"{s.p50_ms:.2f}",
-         f"{s.p90_ms:.2f}", f"{s.p99_ms:.2f}", f"{s.hit_rate:.0%}")
+         f"{s.p90_ms:.2f}", f"{s.p99_ms:.2f}", f"{s.hit_rate:.0%}",
+         s.shed, s.errors)
         for name, s in (("cold", cold.stats), ("warm", warm.stats))
     ]
     print(format_table(headers, rows))
@@ -554,28 +674,73 @@ def build_parser() -> argparse.ArgumentParser:
                       help="blob directory (default: $REPRO_CACHE_DIR or ~/.cache/repro-ucnn)")
     peer.add_argument("--max-bytes", type=int, default=None,
                       help="LRU byte budget for the peer's store (default: unbounded)")
+    peer.add_argument("--upstream", default=None, metavar="URL",
+                      help="peer URL to federate onto: local misses are fetched "
+                           "from the upstream (blob passthrough, never unpickled)")
+    peer.add_argument("--secret", default=None,
+                      help="shared HMAC secret; requests must be signed "
+                           "(default: $REPRO_FABRIC_SECRET)")
     peer.set_defaults(func=cmd_cache_peer)
 
-    serve = sub.add_parser("serve", help="run the async batched serving layer")
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=8537,
+    def _serve_flags(p: argparse.ArgumentParser, default_port: int) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=default_port,
                        help="TCP port (0 = ephemeral, printed at startup)")
-    serve.add_argument("--workers", type=int, default=2,
+        p.add_argument("--workers", type=int, default=2,
                        help="worker shards (one process/thread each)")
-    serve.add_argument("--mode", default="process", choices=("process", "thread"),
+        p.add_argument("--mode", default="process", choices=("process", "thread"),
                        help="shard worker kind")
-    serve.add_argument("--max-batch", type=int, default=8,
+        p.add_argument("--max-batch", type=int, default=8,
                        help="micro-batcher size trigger")
-    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+        p.add_argument("--max-delay-ms", type=float, default=2.0,
                        help="micro-batcher time trigger (ms)")
-    serve.add_argument("--cache-dir", default=None)
-    serve.add_argument("--no-cache", action="store_true",
+        p.add_argument("--cache-dir", default=None)
+        p.add_argument("--no-cache", action="store_true",
                        help="compute every request, never consult the cache")
-    serve.add_argument("--cache-budget-mb", type=float, default=None,
+        p.add_argument("--cache-budget-mb", type=float, default=None,
                        help="LRU byte budget; long-lived servers should set this")
-    serve.add_argument("--remote-cache", default=None, metavar="URL",
+        p.add_argument("--remote-cache", default=None, metavar="URL",
                        help="cache-peer URL to tier behind the local cache")
+        p.add_argument("--secret", default=None,
+                       help="shared HMAC secret; requests must be signed "
+                            "(default: $REPRO_FABRIC_SECRET)")
+
+    serve = sub.add_parser("serve", help="run the async batched serving layer")
+    _serve_flags(serve, default_port=8537)
     serve.set_defaults(func=cmd_serve)
+
+    frontend = sub.add_parser(
+        "frontend", help="run a fabric front-end routing to joined workers")
+    frontend.add_argument("--host", default="127.0.0.1")
+    frontend.add_argument("--port", type=int, default=8640,
+                          help="TCP port (0 = ephemeral, printed at startup)")
+    frontend.add_argument("--heartbeat-timeout", type=float, default=1.5,
+                          help="seconds of silence before a worker is evicted")
+    frontend.add_argument("--max-inflight", type=int, default=64,
+                          help="admission ceiling on concurrent forwards "
+                               "(low sheds at 50%%, normal at 75%%)")
+    frontend.add_argument("--rate", action="append", default=[],
+                          metavar="PRIORITY=RPS",
+                          help="token-bucket rate for one priority "
+                               "(repeatable, e.g. --rate low=50)")
+    frontend.add_argument("--forward-timeout", type=float, default=60.0,
+                          help="seconds before a wedged worker forward is abandoned")
+    frontend.add_argument("--secret", default=None,
+                          help="shared HMAC secret for the fleet "
+                               "(default: $REPRO_FABRIC_SECRET)")
+    frontend.set_defaults(func=cmd_frontend)
+
+    worker = sub.add_parser(
+        "worker", help="run a serve process that joins a fabric front-end")
+    worker.add_argument("--join", required=True, metavar="HOST:PORT",
+                        help="the front-end's control address")
+    worker.add_argument("--worker-id", default=None,
+                        help="ring identity (default: worker-<host>:<port>)")
+    worker.add_argument("--advertise-host", default=None,
+                        help="address the front-end dials back "
+                             "(when binding 0.0.0.0)")
+    _serve_flags(worker, default_port=0)
+    worker.set_defaults(func=cmd_worker)
 
     bench = sub.add_parser(
         "bench-serve", help="closed-loop load benchmark against an in-process server")

@@ -1,0 +1,440 @@
+"""The fabric front-end: one node that fans a fleet out of workers.
+
+Speaks the exact same newline-delimited JSON protocol as a
+:class:`repro.serve.Server` — every existing client, including the
+load generator, points at a front-end unchanged — but instead of
+computing, it:
+
+1. **authenticates** (when a shared secret is configured, every line —
+   control or data — must carry a valid HMAC before anything happens);
+2. **admits** data requests through :class:`~repro.fabric.admission.AdmissionController`
+   (overload answers with a ``shed`` response instead of queueing);
+3. **routes** by consistent hash over the live worker set, so each
+   request key keeps hitting the worker whose engine memos and cache
+   tiers are warm for it;
+4. **forwards** over a pooled pipelined connection and relays the
+   worker's response verbatim (plus the worker id).
+
+Failure model: a forward that dies with a transport error *eagerly*
+evicts the worker and retries the next ring owner — safe because every
+data endpoint is an idempotent pure-function read, so re-executing a
+maybe-half-done request cannot corrupt anything.  A worker that dies
+silently between requests is caught by the reaper sweeping heartbeats.
+Either way an acknowledged response is only ever sent after a worker
+actually answered: clients never get an ack for work that was lost.
+
+Control endpoints (worker-facing): ``_join``, ``_heartbeat``,
+``_leave``; introspection: ``_members``, ``_stats``, ``ping``.  Wire
+details in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.fabric.admission import AdmissionController
+from repro.fabric.auth import verify_message
+from repro.fabric.membership import Membership, WorkerInfo
+from repro.serve.client import AsyncServeClient
+from repro.serve.protocol import MAX_LINE_BYTES, ProtocolError, decode_message, encode_message
+
+#: Control endpoints the front-end answers itself (never forwarded).
+CONTROL_ENDPOINTS = ("_join", "_heartbeat", "_leave", "_members", "_stats", "ping")
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Everything a :class:`Frontend` needs to start.
+
+    Attributes:
+        host: bind address.
+        port: bind port; 0 asks the OS for an ephemeral port.
+        heartbeat_timeout: seconds of heartbeat silence before a worker
+            is evicted (workers learn this value from the join reply
+            and heartbeat at a fraction of it).
+        max_inflight: admission ceiling on concurrently forwarded
+            requests (the priority shed ladder scales from it).
+        rates: optional per-priority token-bucket rates, e.g.
+            ``{"low": 50.0}``.
+        replicas: virtual ring points per worker.
+        forward_timeout: seconds a single forward may take before the
+            worker is presumed wedged (evicted, request retried).
+        forward_retries: maximum distinct workers tried per request.
+        auth_secret: shared fleet secret; ``None`` runs the fabric
+            open (see :mod:`repro.fabric.auth` for the threat model).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8640
+    heartbeat_timeout: float = 1.5
+    max_inflight: int = 64
+    rates: dict | None = None
+    replicas: int = 64
+    forward_timeout: float = 60.0
+    forward_retries: int = 3
+    auth_secret: str | None = None
+
+    def __post_init__(self):
+        if self.forward_retries < 1:
+            raise ValueError("forward_retries must be >= 1")
+
+
+@dataclass
+class FrontendStats:
+    """Front-end counters (routing layer only; admission and
+    membership keep their own and all three merge in ``_stats``)."""
+
+    requests: int = 0
+    forwarded: int = 0
+    forward_errors: int = 0
+    retries: int = 0
+    no_workers: int = 0
+    auth_rejected: int = 0
+    errors: int = 0
+
+
+class Frontend:
+    """The asyncio front-end loop: auth -> admit -> route -> forward.
+
+    Args:
+        config: see :class:`FrontendConfig`.
+
+    Use :meth:`start` + :meth:`serve_forever` from an event loop, or
+    :class:`FrontendHandle` to run it on a background thread.
+    """
+
+    def __init__(self, config: FrontendConfig | None = None):
+        self.config = config or FrontendConfig()
+        self.membership = Membership(
+            heartbeat_timeout=self.config.heartbeat_timeout,
+            replicas=self.config.replicas)
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight, rates=self.config.rates)
+        self.stats = FrontendStats()
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._clients: dict[str, AsyncServeClient] = {}
+        self._client_locks: dict[str, asyncio.Lock] = {}
+        self._reaper_task: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the heartbeat reaper."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper_task = asyncio.ensure_future(self._reap_loop())
+
+    async def serve_forever(self) -> None:
+        """Accept connections until cancelled (call :meth:`start` first)."""
+        assert self._server is not None, "call start() before serve_forever()"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop connections, close worker links."""
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper_task
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        for client in list(self._clients.values()):
+            await client.aclose()
+        self._clients.clear()
+
+    # -- introspection -------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Routing + admission + membership counters, one dict."""
+        return {
+            "requests": self.stats.requests,
+            "forwarded": self.stats.forwarded,
+            "forward_errors": self.stats.forward_errors,
+            "retries": self.stats.retries,
+            "no_workers": self.stats.no_workers,
+            "auth_rejected": self.stats.auth_rejected,
+            "errors": self.stats.errors,
+            "admission": self.admission.snapshot(),
+            "membership": self.membership.snapshot(),
+        }
+
+    # -- connection plumbing (same shape as repro.serve.server) --------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+            conn_task.add_done_callback(self._conn_tasks.discard)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(writer, write_lock, {
+                        "id": -1, "ok": False, "error": "request line too long"})
+                    break
+                if not line:
+                    break
+                task = asyncio.ensure_future(self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            pass  # shutdown: close the connection and exit cleanly
+        finally:
+            if tasks:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        response = await self._handle_request(line)
+        await self._write(writer, write_lock, response)
+
+    async def _write(self, writer: asyncio.StreamWriter, lock: asyncio.Lock,
+                     payload: dict) -> None:
+        async with lock:
+            writer.write(encode_message(payload))
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle_request(self, line: bytes) -> dict:
+        started = time.perf_counter()
+        self.stats.requests += 1
+        rid = -1
+        try:
+            message = decode_message(line)
+            rid = message.get("id", -1)
+            name = message.get("endpoint")
+            kwargs = message.get("kwargs") or {}
+            if not isinstance(name, str):
+                raise ProtocolError("missing 'endpoint'")
+            if not isinstance(kwargs, dict):
+                raise ProtocolError("'kwargs' must be an object")
+            if self.config.auth_secret is not None and not verify_message(
+                    self.config.auth_secret, message):
+                # First gate, before membership or admission see the
+                # request: outsiders cannot join, probe, or forward.
+                self.stats.auth_rejected += 1
+                return {"id": rid, "ok": False, "status": 401,
+                        "error": "unauthenticated: missing or bad 'auth' signature"}
+            if name in CONTROL_ENDPOINTS:
+                return self._control(rid, name, kwargs, started)
+            if name.startswith("_"):
+                raise ProtocolError(f"unknown control endpoint {name!r}")
+            return await self._forward(rid, name, kwargs,
+                                       message.get("priority"), started)
+        except (ProtocolError, KeyError, TypeError, ValueError) as exc:
+            self.stats.errors += 1
+            return {"id": rid, "ok": False,
+                    "error": str(exc.args[0]) if exc.args else repr(exc)}
+        except Exception as exc:  # defensive: report, don't crash the loop
+            self.stats.errors += 1
+            return {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    def _control(self, rid: int, name: str, kwargs: dict, started: float) -> dict:
+        if name == "_join":
+            info = self.membership.join(
+                str(kwargs["worker_id"]), str(kwargs["host"]), int(kwargs["port"]))
+            return self._ok(rid, {
+                "worker_id": info.worker_id,
+                "workers": len(self.membership),
+                "heartbeat_timeout": self.membership.heartbeat_timeout,
+            }, started)
+        if name == "_heartbeat":
+            known = self.membership.heartbeat(str(kwargs["worker_id"]))
+            # known=False tells an evicted-but-alive worker to re-join.
+            return self._ok(rid, {"known": known}, started)
+        if name == "_leave":
+            left = self.membership.leave(str(kwargs["worker_id"]))
+            return self._ok(rid, {"left": left}, started)
+        if name == "_members":
+            return self._ok(rid, self.membership.snapshot(), started)
+        if name == "_stats":
+            return self._ok(rid, self.stats_snapshot(), started)
+        # ping: inline, reflects front-end loop health alone.
+        return self._ok(rid, {"pong": kwargs.get("payload")}, started)
+
+    async def _forward(self, rid: int, name: str, kwargs: dict,
+                       priority: str | None, started: float) -> dict:
+        decision = self.admission.admit(priority)  # ValueError -> error reply
+        if not decision.admitted:
+            return {
+                "id": rid, "ok": False, "shed": True, "status": 503,
+                "error": f"shed: {decision.reason} (priority {decision.priority})",
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+            }
+        try:
+            key = name + ":" + json.dumps(kwargs, sort_keys=True, separators=(",", ":"))
+            for attempt in range(self.config.forward_retries):
+                info = self.membership.route(key)
+                if info is None:
+                    self.stats.no_workers += 1
+                    return {"id": rid, "ok": False, "status": 503,
+                            "error": "no live workers in the fabric",
+                            "elapsed_ms": (time.perf_counter() - started) * 1000.0}
+                try:
+                    response = await self._forward_once(info, name, kwargs, priority)
+                except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                    # The worker is gone (SIGKILL, crash, partition) or
+                    # wedged: evict it so the ring reroutes *now*, drop
+                    # its pooled link, and retry on the next owner.
+                    # Data endpoints are pure reads — re-execution is
+                    # free of side effects, so no ack is ever lost.
+                    self.stats.forward_errors += 1
+                    reason = "timeout" if isinstance(exc, asyncio.TimeoutError) else "connection"
+                    self.membership.evict(info.worker_id, reason)
+                    await self._drop_client(info.worker_id)
+                    if attempt + 1 < self.config.forward_retries:
+                        self.stats.retries += 1
+                    continue
+                self.stats.forwarded += 1
+                payload = {
+                    "id": rid, "ok": response.ok, "value": response.value,
+                    "cached": response.cached, "coalesced": response.coalesced,
+                    "shard": response.shard, "worker": info.worker_id,
+                    "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+                }
+                if response.error is not None:
+                    payload["error"] = response.error
+                return payload
+            return {"id": rid, "ok": False, "status": 503,
+                    "error": f"forward failed after {self.config.forward_retries} workers",
+                    "elapsed_ms": (time.perf_counter() - started) * 1000.0}
+        finally:
+            self.admission.release()
+
+    async def _forward_once(self, info: WorkerInfo, name: str, kwargs: dict,
+                            priority: str | None):
+        client = await self._client_for(info)
+        return await asyncio.wait_for(
+            client.send(name, kwargs, priority=priority),
+            timeout=self.config.forward_timeout)
+
+    async def _client_for(self, info: WorkerInfo) -> AsyncServeClient:
+        """The pooled pipelined connection to one worker (dial once)."""
+        lock = self._client_locks.setdefault(info.worker_id, asyncio.Lock())
+        async with lock:
+            client = self._clients.get(info.worker_id)
+            if client is None:
+                client = await AsyncServeClient.connect(
+                    info.host, info.port, secret=self.config.auth_secret)
+                self._clients[info.worker_id] = client
+            return client
+
+    async def _drop_client(self, worker_id: str) -> None:
+        client = self._clients.pop(worker_id, None)
+        if client is not None:
+            await client.aclose()
+
+    async def _reap_loop(self) -> None:
+        """Sweep stale heartbeats at twice the eviction resolution."""
+        interval = self.config.heartbeat_timeout / 2.0
+        while True:
+            await asyncio.sleep(interval)
+            for worker_id in self.membership.sweep():
+                await self._drop_client(worker_id)
+
+    def _ok(self, rid: int, value, started: float) -> dict:
+        return {
+            "id": rid, "ok": True, "value": value,
+            "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+        }
+
+
+class FrontendHandle:
+    """Runs a :class:`Frontend` event loop on a daemon thread.
+
+    The synchronous entry point tests, examples, and ``repro
+    frontend`` use::
+
+        with FrontendHandle(FrontendConfig(port=0)) as fe:
+            client = ServeClient("127.0.0.1", fe.port)
+            ...
+
+    Attributes:
+        port: the bound port, available once :meth:`start` returns.
+    """
+
+    def __init__(self, config: FrontendConfig | None = None):
+        self.config = config or FrontendConfig()
+        self.frontend = Frontend(self.config)
+        self.port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> FrontendHandle:
+        """Start the loop thread; blocks until the socket is bound."""
+        if self._thread is not None:
+            raise RuntimeError("frontend already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-frontend", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Signal shutdown and join the loop thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join()
+        self._thread = None
+
+    def stats(self) -> dict:
+        """Snapshot of the front-end's counters (thread-safe read)."""
+        return self.frontend.stats_snapshot()
+
+    def __enter__(self) -> FrontendHandle:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.frontend.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = self.frontend.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.frontend.aclose()

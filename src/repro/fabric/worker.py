@@ -1,0 +1,180 @@
+"""A fabric worker: a serve process that joins a front-end's fleet.
+
+:class:`WorkerNode` wraps the existing :class:`repro.serve.ServerHandle`
+— endpoints, micro-batching, shard pool, and tiered cache all reused
+verbatim — and adds the *membership agent*: a daemon thread that joins
+the front-end on start, heartbeats on a fraction of the front-end's
+eviction timeout, re-joins when a heartbeat answer says the front-end
+no longer knows it (evicted during a partition, or the front-end
+restarted), and retries with a small backoff when the front-end itself
+is unreachable.  The worker keeps serving its socket throughout — fleet
+trouble never takes down local traffic.
+
+Sequencing matters on the way up and the way down: the serve socket is
+bound *before* the join (the front-end may route the moment a worker
+appears on the ring), and ``_leave`` is sent *before* the socket closes
+(so a graceful shutdown moves the ring range with zero failed
+forwards).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServerHandle
+
+#: Heartbeats sent per front-end eviction timeout (3 tries before
+#: a worker can be declared dead by silence alone).
+HEARTBEATS_PER_TIMEOUT = 3.0
+
+#: Seconds between reconnect attempts when the front-end is down.
+RECONNECT_BACKOFF = 0.5
+
+
+class WorkerNode:
+    """One serve process registered with a fabric front-end.
+
+    Args:
+        config: the wrapped server's :class:`ServeConfig` (the worker
+            authenticates its control channel with
+            ``config.auth_secret``, same secret the front-end holds).
+        frontend_host/frontend_port: the front-end's control address.
+        worker_id: ring identity; defaults to ``worker-<host>:<port>``
+            once the serve socket is bound, which makes a restarted
+            worker re-claim its old ring range automatically.
+        advertise_host: address the front-end should dial back, when
+            the bind address is not routable from the front-end
+            (``0.0.0.0`` binds).
+        heartbeat_interval: seconds between heartbeats; default derives
+            from the front-end's advertised timeout
+            (timeout / :data:`HEARTBEATS_PER_TIMEOUT`).
+
+    Use as a context manager, or :meth:`start` / :meth:`stop`.
+    """
+
+    def __init__(self, config: ServeConfig, frontend_host: str, frontend_port: int,
+                 worker_id: str | None = None, advertise_host: str | None = None,
+                 heartbeat_interval: float | None = None):
+        self.config = config
+        self.frontend_host = frontend_host
+        self.frontend_port = frontend_port
+        self.worker_id = worker_id
+        self.advertise_host = advertise_host or config.host
+        self.heartbeat_interval = heartbeat_interval
+        self.handle = ServerHandle(config)
+        self.port: int | None = None
+        self._agent: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._client: ServeClient | None = None
+        self._client_lock = threading.Lock()
+        self.heartbeats_sent = 0
+        self.rejoins = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> WorkerNode:
+        """Bind the serve socket, join the fleet, start heartbeating.
+
+        Raises:
+            ConnectionError/OSError: if the front-end is unreachable or
+                refuses the join (e.g. bad shared secret) — a worker
+                that cannot join must fail loudly at startup, not limp
+                along unrouted.
+        """
+        self.handle.start()
+        self.port = self.handle.port
+        if self.worker_id is None:
+            self.worker_id = f"worker-{self.advertise_host}:{self.port}"
+        try:
+            reply = self._join()
+        except BaseException:
+            self.handle.stop()
+            raise
+        if self.heartbeat_interval is None:
+            timeout = float(reply.get("heartbeat_timeout", 1.5))
+            self.heartbeat_interval = timeout / HEARTBEATS_PER_TIMEOUT
+        self._agent = threading.Thread(
+            target=self._agent_loop, name=f"repro-worker-agent-{self.worker_id}",
+            daemon=True)
+        self._agent.start()
+        return self
+
+    def stop(self) -> None:
+        """Leave the fleet, stop the agent, stop serving (idempotent)."""
+        if self._agent is not None:
+            self._stop.set()
+            self._agent.join()
+            self._agent = None
+        try:
+            client = self._connect()
+            client.send("_leave", {"worker_id": self.worker_id})
+        except Exception:
+            pass  # front-end gone: its reaper will evict us
+        self._close_client()
+        self.handle.stop()
+
+    def stats(self) -> dict:
+        """The wrapped server's counters."""
+        return self.handle.stats()
+
+    def __enter__(self) -> WorkerNode:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- membership agent ----------------------------------------------
+
+    def _connect(self) -> ServeClient:
+        with self._client_lock:
+            if self._client is None:
+                self._client = ServeClient(
+                    self.frontend_host, self.frontend_port,
+                    secret=self.config.auth_secret)
+            return self._client
+
+    def _close_client(self) -> None:
+        with self._client_lock:
+            if self._client is not None:
+                try:
+                    self._client.close()
+                finally:
+                    self._client = None
+
+    def _join(self) -> dict:
+        """One join round-trip; raises if the front-end refuses."""
+        response = self._connect().send("_join", {
+            "worker_id": self.worker_id,
+            "host": self.advertise_host,
+            "port": self.port,
+        })
+        if not response.ok:
+            raise ConnectionError(
+                f"front-end refused join for {self.worker_id!r}: {response.error}")
+        return response.value or {}
+
+    def _agent_loop(self) -> None:
+        assert self.heartbeat_interval is not None
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                response = self._connect().send(
+                    "_heartbeat", {"worker_id": self.worker_id})
+                self.heartbeats_sent += 1
+                if response.ok and not (response.value or {}).get("known", True):
+                    # Evicted while we were alive (partition healed, or
+                    # the front-end restarted): claim our range back.
+                    self._join()
+                    self.rejoins += 1
+            except Exception:
+                # Front-end unreachable: drop the link and retry after
+                # a short backoff; the serve socket stays up regardless.
+                self._close_client()
+                if self._stop.wait(RECONNECT_BACKOFF):
+                    return
+                try:
+                    self._join()
+                    self.rejoins += 1
+                except Exception:
+                    pass  # still down; next tick tries again

@@ -21,11 +21,25 @@ request                      response
 ``GET /keys``                ``200`` JSON list of stored keys
 ===========================  =============================================
 
+Any request may additionally be refused ``401`` when the peer runs
+with a shared HMAC secret (:mod:`repro.fabric.auth`) and the request's
+``Authorization`` header is missing or wrong — checked before the
+store is touched, so unauthenticated callers can neither read blobs
+(that *they* would unpickle) nor plant blobs (that fleet members
+would).
+
 Storage reuses :class:`~repro.runtime.cache.ResultCache` wholesale —
 same sharded layout, same atomic writes, same LRU byte-budget eviction
 (``--max-bytes``) — so a peer directory is interchangeable with any
 other cache directory (it can be seeded by pointing a sweep at it, or
 rsynced outright).
+
+**Federation** (``--upstream URL``): a peer can itself tier onto
+another peer.  A local ``GET`` miss is re-fetched from the upstream as
+a raw blob — passthrough only, never unpickled — stored, and served.
+This is how a fabric worker's cache reaches the front-end's: worker →
+its local peer → the front-end's peer, each hop authenticated with the
+same fleet secret.
 """
 
 from __future__ import annotations
@@ -40,8 +54,9 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from repro.fabric.auth import default_secret, verify_http
 from repro.runtime.cache import ResultCache
-from repro.runtime.tiers import CHECKSUM_HEADER, MAX_BLOB_BYTES
+from repro.runtime.tiers import CHECKSUM_HEADER, MAX_BLOB_BYTES, HTTPPeerTier
 
 _KEY_RE = re.compile(r"^/cache/([0-9a-f]{64})$")
 
@@ -57,6 +72,8 @@ class _PeerHandler(BaseHTTPRequestHandler):
     timeout = 30.0
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if not self._authorized():
+            return
         if self.path == "/stats":
             self._send_json(200, self.server.peer.stats_payload())
             return
@@ -68,6 +85,8 @@ class _PeerHandler(BaseHTTPRequestHandler):
             return
         self.server.peer.count("gets")
         blob = self.server.peer.cache.get_blob(key)
+        if blob is None:
+            blob = self.server.peer.fetch_upstream(key)
         if blob is None:
             self.server.peer.count("misses")
             self._send_empty(404)
@@ -81,6 +100,8 @@ class _PeerHandler(BaseHTTPRequestHandler):
         self.wfile.write(blob)
 
     def do_HEAD(self) -> None:  # noqa: N802
+        if not self._authorized():
+            return
         key = self._key()
         if key is None:
             return
@@ -107,6 +128,11 @@ class _PeerHandler(BaseHTTPRequestHandler):
         if len(blob) != length:
             self._send_empty(400, close=True)  # truncated upload
             return
+        if not self._authorized(body=blob):
+            # The HMAC covers the body digest, so the body had to be
+            # read first; the store is still untouched — an outsider
+            # cannot plant a blob a fleet member would later unpickle.
+            return
         checksum = self.headers.get(CHECKSUM_HEADER)
         if checksum and hashlib.sha256(blob).hexdigest() != checksum:
             self._send_empty(400)  # corrupted in transit: refuse to store
@@ -118,6 +144,18 @@ class _PeerHandler(BaseHTTPRequestHandler):
             return
         self.server.peer.count("puts")  # only successful stores count
         self._send_empty(204)
+
+    def _authorized(self, body: bytes = b"") -> bool:
+        """HMAC gate, ahead of any store access (no-op when open)."""
+        secret = self.server.peer.secret
+        if secret is None:
+            return True
+        if verify_http(secret, self.command, self.path, body,
+                       self.headers.get("Authorization")):
+            return True
+        self.server.peer.count("auth_rejected")
+        self._send_empty(401, close=True)
+        return False
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # quiet by default; counters carry the signal
@@ -172,6 +210,13 @@ class CachePeer:
             :attr:`port`).
         max_bytes: LRU byte budget for the peer's store (``None`` =
             unbounded) — the same eviction the local cache uses.
+        upstream: base URL of a peer to federate onto; local ``GET``
+            misses are re-fetched from it as raw blobs (never
+            unpickled), stored, and served.  ``None`` = standalone.
+        secret: shared HMAC secret; when set, every request must carry
+            a valid ``Authorization`` header, and upstream fetches are
+            signed with the same secret (default: the
+            ``REPRO_FABRIC_SECRET`` environment variable).
 
     Use as a context manager or via :meth:`start` / :meth:`stop`; the
     listening socket is bound at construction, so :attr:`port` is valid
@@ -179,8 +224,13 @@ class CachePeer:
     """
 
     def __init__(self, root: str | Path | None = None, host: str = "127.0.0.1",
-                 port: int = 0, max_bytes: int | None = None):
+                 port: int = 0, max_bytes: int | None = None,
+                 upstream: str | None = None, secret: str | None = None):
         self.cache = ResultCache(root=root, max_bytes=max_bytes, sweep_every=8)
+        self.secret = secret if secret is not None else default_secret()
+        self.upstream: HTTPPeerTier | None = (
+            HTTPPeerTier(upstream, secret=self.secret)
+            if upstream is not None else None)
         self._server = _PeerServer((host, port), _PeerHandler)
         self._server.peer = self
         self.host = host
@@ -188,7 +238,10 @@ class CachePeer:
         self._thread: threading.Thread | None = None
         self._serving = False
         self._lock = threading.Lock()
-        self._counters = {"gets": 0, "hits": 0, "misses": 0, "puts": 0}
+        self._counters = {
+            "gets": 0, "hits": 0, "misses": 0, "puts": 0, "auth_rejected": 0,
+            "upstream_hits": 0, "upstream_misses": 0, "upstream_errors": 0,
+        }
         self._stats_cache: tuple[float, dict] | None = None
 
     @property
@@ -230,6 +283,29 @@ class CachePeer:
         """Bump one served-request counter (handler threads call this)."""
         with self._lock:
             self._counters[counter] += 1
+
+    def fetch_upstream(self, key: str) -> bytes | None:
+        """Re-fetch a locally missing blob from the upstream peer.
+
+        Blob passthrough only: the bytes are stored and served exactly
+        as received, never unpickled here.  Every upstream failure mode
+        degrades to a plain local miss (the upstream tier's circuit
+        breaker throttles retries against a dead upstream).
+        """
+        if self.upstream is None:
+            return None
+        try:
+            blob = self.upstream.get_blob(key)
+        except Exception:
+            self.count("upstream_errors")
+            return None
+        if blob is None:
+            self.count("upstream_misses")
+            return None
+        with contextlib.suppress(OSError):
+            self.cache.put_blob(key, blob)
+        self.count("upstream_hits")
+        return blob
 
     #: How long a ``/stats`` store-size snapshot may be reused.  Sizing
     #: the store walks every entry (O(entries) stat calls); a liveness

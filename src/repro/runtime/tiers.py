@@ -26,9 +26,13 @@ never unpickles what it stores, so it can hold results for functions
 it cannot import.  A *client*, however, does unpickle the blobs it
 fetches: pointing ``--remote-cache`` at a peer extends it exactly the
 trust you would extend a shared cache directory (a hostile peer could
-ship a malicious pickle).  Run peers inside the trusted network that
-already shares your results; the checksum catches corruption, not
-adversaries (auth/TLS is future work, see ROADMAP).
+ship a malicious pickle).  Because of that, peer traffic participates
+in the fabric's shared-secret HMAC auth (:mod:`repro.fabric.auth`):
+with ``REPRO_FABRIC_SECRET`` set, every request this tier sends is
+signed and an authenticated peer refuses unsigned ones — so only fleet
+members can feed blobs into a cache that will unpickle them.  The
+signature authenticates membership and integrity, not confidentiality;
+for hostile networks add TLS in front.
 
 The wire peer itself lives in :mod:`repro.runtime.peer`; this module
 holds the client-side tiers and the read-through composition.
@@ -49,6 +53,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+import repro
+from repro.fabric.auth import default_secret, http_auth_header
 from repro.runtime.cache import MISS, CacheEntry, ResultCache
 
 #: The only key shape any tier accepts: 64 lowercase hex chars (a
@@ -155,18 +161,30 @@ class HTTPPeerTier:
       ``cooldown`` seconds, so a dead peer costs one timeout per
       cooldown window instead of one per lookup.
 
+    Every request carries a ``repro/<version>`` User-Agent (so peer
+    access logs can tell fleet traffic from strays) and, when a shared
+    secret is configured, an HMAC ``Authorization`` header
+    (:mod:`repro.fabric.auth`).  Every :class:`TierUnavailable` this
+    tier raises names the peer URL — with several tiers in play, an
+    error that doesn't say *which* peer is useless.
+
     Args:
         url: peer base URL, e.g. ``http://10.0.0.7:8601``.
         timeout: per-operation socket timeout in seconds.
         failure_threshold: consecutive failures that open the circuit.
         cooldown: seconds the circuit stays open.
+        secret: shared HMAC secret for request signing (default: the
+            ``REPRO_FABRIC_SECRET`` environment variable; ``None``
+            sends unsigned requests).
     """
 
     name = "peer"
 
     def __init__(self, url: str, timeout: float = 2.0,
-                 failure_threshold: int = 3, cooldown: float = 5.0):
+                 failure_threshold: int = 3, cooldown: float = 5.0,
+                 secret: str | None = None):
         self.url = url.rstrip("/")
+        self.secret = secret if secret is not None else default_secret()
         self.timeout = timeout
         self.failure_threshold = max(1, failure_threshold)
         self.cooldown = cooldown
@@ -180,9 +198,13 @@ class HTTPPeerTier:
 
     # -- tier protocol -------------------------------------------------
 
+    def _unavailable(self, reason: str) -> TierUnavailable:
+        """A :class:`TierUnavailable` that always names this peer."""
+        return TierUnavailable(f"cache peer {self.url}: {reason}")
+
     def get_blob(self, key: str) -> bytes | None:
         if not self._admit():
-            raise TierUnavailable(f"{self.url}: circuit breaker open")
+            raise self._unavailable("circuit breaker open")
         self._bump("gets")
         try:
             with self._open("GET", f"/cache/{key}") as resp:
@@ -196,26 +218,26 @@ class HTTPPeerTier:
                 self._bump("misses")
                 return None  # the one clean miss: the peer answered "absent"
             self._failure()
-            raise TierUnavailable(f"{self.url}: HTTP {exc.code}") from exc
+            raise self._unavailable(f"HTTP {exc.code}") from exc
         except Exception as exc:
             # URLError, socket.timeout, ConnectionError, BadStatusLine
             # (dropped connection), ... — all degrade.
             self._failure()
-            raise TierUnavailable(f"{self.url}: {exc}") from exc
+            raise self._unavailable(str(exc)) from exc
         if len(blob) > MAX_BLOB_BYTES:
             self._failure()
-            raise TierUnavailable(f"{self.url}: blob over the size cap")
+            raise self._unavailable("blob over the size cap")
         if advertised is not None and advertised.isdigit() and len(blob) != int(advertised):
             # Truncated body: read(amt) returns short instead of raising,
             # so the length check is what catches a mid-body hangup.
             self._failure()
-            raise TierUnavailable(f"{self.url}: truncated body")
+            raise self._unavailable("truncated body")
         if checksum and hashlib.sha256(blob).hexdigest() != checksum:
             # Corrupt or truncated payload: worse than a miss, because a
             # healthy peer should never send one — count it against the
             # breaker and let the caller recompute.
             self._failure()
-            raise TierUnavailable(f"{self.url}: checksum mismatch")
+            raise self._unavailable("checksum mismatch")
         self._success()
         self._bump("hits")
         return blob
@@ -292,8 +314,13 @@ class HTTPPeerTier:
 
     def _open(self, method: str, path: str, body: bytes | None = None,
               headers: dict | None = None):
+        headers = dict(headers or {})
+        headers.setdefault("User-Agent", f"repro/{repro.__version__}")
+        if self.secret is not None:
+            headers["Authorization"] = http_auth_header(
+                self.secret, method, path, body or b"")
         request = urllib.request.Request(
-            self.url + path, data=body, method=method, headers=headers or {})
+            self.url + path, data=body, method=method, headers=headers)
         return _DIRECT_OPENER.open(request, timeout=self.timeout)  # noqa: S310
 
     def _admit(self) -> bool:

@@ -5,6 +5,13 @@ flight at a time, right for scripts and the CLI.  :class:`AsyncServeClient`
 pipelines: many requests may be outstanding on one connection, matched
 back to their callers by request id, which is what the load generator
 and high-concurrency callers want.
+
+Both speak the fabric extensions of the wire format transparently:
+constructed with a shared ``secret`` (default: the
+``REPRO_FABRIC_SECRET`` environment variable) they HMAC-sign every
+request, and a per-request ``priority`` rides along for admission
+control on a fabric front-end.  Against a plain open server both fields
+are inert, so one client class serves every topology.
 """
 
 from __future__ import annotations
@@ -12,11 +19,21 @@ from __future__ import annotations
 import asyncio
 import socket
 
+from repro.fabric.auth import default_secret, normalize_priority, sign_message
 from repro.serve.protocol import MAX_LINE_BYTES, Response, decode_message, encode_message
 
 
 class ServeError(RuntimeError):
     """Raised by ``request(...)`` when the server reports a failure."""
+
+
+def _wire_request(rid: int, endpoint: str, kwargs: dict,
+                  priority: str | None, secret: str | None) -> bytes:
+    """Build (and, secret permitting, sign) one request line."""
+    message: dict = {"id": rid, "endpoint": endpoint, "kwargs": kwargs}
+    if priority is not None:
+        message["priority"] = normalize_priority(priority)
+    return encode_message(sign_message(secret, message))
 
 
 class ServeClient:
@@ -26,15 +43,41 @@ class ServeClient:
         host: server address.
         port: server port.
         timeout: socket timeout in seconds for connect and replies.
+        secret: shared fabric secret used to sign requests; defaults to
+            ``REPRO_FABRIC_SECRET`` from the environment, ``None`` sends
+            unsigned requests (fine against an open server).
 
     Usable as a context manager; the connection persists across
     requests.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8537, timeout: float = 60.0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 8537, timeout: float = 60.0,
+                 secret: str | None = None):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self._secret = secret if secret is not None else default_secret()
+
+    def send(self, endpoint: str, kwargs: dict | None = None,
+             priority: str | None = None) -> Response:
+        """Issue one request and return the raw :class:`Response`.
+
+        Unlike :meth:`request` this never raises on ``ok: false`` — the
+        caller inspects ``response.ok`` / ``response.shed`` itself,
+        which is what shed-aware fabric callers need (a shed is an
+        expected outcome, not an exception).
+
+        Raises:
+            ConnectionError: if the server hung up mid-request.
+        """
+        self._next_id += 1
+        rid = self._next_id
+        self._file.write(_wire_request(rid, endpoint, kwargs or {}, priority, self._secret))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return Response.from_wire(decode_message(line))
 
     def request(self, endpoint: str, **kwargs) -> Response:
         """Issue one request and wait for its response.
@@ -43,14 +86,7 @@ class ServeClient:
             ServeError: if the server answered ``ok: false``.
             ConnectionError: if the server hung up mid-request.
         """
-        self._next_id += 1
-        rid = self._next_id
-        self._file.write(encode_message({"id": rid, "endpoint": endpoint, "kwargs": kwargs}))
-        self._file.flush()
-        line = self._file.readline(MAX_LINE_BYTES)
-        if not line:
-            raise ConnectionError("server closed the connection")
-        response = Response.from_wire(decode_message(line))
+        response = self.send(endpoint, kwargs)
         if not response.ok:
             raise ServeError(response.error or "request failed")
         return response
@@ -85,25 +121,39 @@ class AsyncServeClient:
     connection.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+                 secret: str | None = None):
         self._reader = reader
         self._writer = writer
+        self._secret = secret if secret is not None else default_secret()
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._write_lock = asyncio.Lock()
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 8537) -> AsyncServeClient:
-        """Open a connection and start the response dispatcher."""
-        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
-        return cls(reader, writer)
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8537,
+                      secret: str | None = None) -> AsyncServeClient:
+        """Open a connection and start the response dispatcher.
 
-    async def request(self, endpoint: str, **kwargs) -> Response:
-        """Issue one request; other requests may overlap freely.
+        Args:
+            host/port: the server to dial.
+            secret: shared fabric secret for request signing; defaults
+                to ``REPRO_FABRIC_SECRET`` from the environment.
+        """
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+        return cls(reader, writer, secret=secret)
+
+    async def send(self, endpoint: str, kwargs: dict | None = None,
+                   priority: str | None = None) -> Response:
+        """Issue one request and return the raw :class:`Response`.
+
+        The no-raise twin of :meth:`request` (see
+        :meth:`ServeClient.send`); the fabric front-end forwards through
+        this so a worker-side error travels back as a response rather
+        than an exception.
 
         Raises:
-            ServeError: if the server answered ``ok: false``.
             ConnectionError: if the connection dropped before the reply.
         """
         self._next_id += 1
@@ -113,11 +163,21 @@ class AsyncServeClient:
         try:
             async with self._write_lock:
                 self._writer.write(
-                    encode_message({"id": rid, "endpoint": endpoint, "kwargs": kwargs}))
+                    _wire_request(rid, endpoint, kwargs or {}, priority, self._secret))
                 await self._writer.drain()
             response: Response = await future
         finally:
             self._pending.pop(rid, None)
+        return response
+
+    async def request(self, endpoint: str, **kwargs) -> Response:
+        """Issue one request; other requests may overlap freely.
+
+        Raises:
+            ServeError: if the server answered ``ok: false``.
+            ConnectionError: if the connection dropped before the reply.
+        """
+        response = await self.send(endpoint, kwargs)
         if not response.ok:
             raise ServeError(response.error or "request failed")
         return response

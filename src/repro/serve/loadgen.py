@@ -29,6 +29,9 @@ class RequestRecord:
     latency_ms: float
     value: object = None
     error: str | None = None
+    shed: bool = False
+    priority: str = "normal"
+    worker: str | None = None
 
 
 @dataclass(frozen=True)
@@ -37,17 +40,24 @@ class LoadStats:
 
     Attributes:
         requests: total requests issued.
-        errors: requests answered with ``ok: false`` or dropped.
+        errors: requests that genuinely failed (``ok: false`` and not
+            shed, or dropped on a dead connection).
+        shed: requests a fabric front-end refused under overload —
+            counted apart from errors because a shed is the admission
+            controller doing its job, not a fault.
         seconds: wall-clock duration of the pass.
         throughput_rps: requests per second over the pass.
         hit_rate: fraction of successful requests served from cache.
         coalesced_rate: fraction that piggybacked on an in-flight twin.
-        p50_ms / p90_ms / p99_ms / max_ms: latency percentiles.
-        mean_ms: mean latency.
+        p50_ms / p90_ms / p99_ms / max_ms: latency percentiles over
+            completed (non-shed) requests — a shed answers in
+            microseconds and would flatter the latency numbers.
+        mean_ms: mean latency, same population.
     """
 
     requests: int
     errors: int
+    shed: int
     seconds: float
     throughput_rps: float
     hit_rate: float
@@ -77,11 +87,13 @@ def percentile(sorted_values: list[float], q: float) -> float:
 
 def summarize(records: list[RequestRecord], seconds: float) -> LoadStats:
     """Fold request records into a :class:`LoadStats`."""
-    latencies = sorted(r.latency_ms for r in records)
+    latencies = sorted(r.latency_ms for r in records if not r.shed)
     good = [r for r in records if r.ok]
+    shed = sum(1 for r in records if r.shed)
     return LoadStats(
         requests=len(records),
-        errors=len(records) - len(good),
+        errors=len(records) - len(good) - shed,
+        shed=shed,
         seconds=seconds,
         throughput_rps=len(records) / seconds if seconds > 0 else 0.0,
         hit_rate=sum(1 for r in good if r.cached) / len(good) if good else 0.0,
@@ -97,17 +109,20 @@ def summarize(records: list[RequestRecord], seconds: float) -> LoadStats:
 async def run_load_async(
     host: str,
     port: int,
-    requests: list[tuple[str, dict]],
+    requests: list[tuple],
     concurrency: int = 4,
+    secret: str | None = None,
 ) -> LoadResult:
     """Run one closed-loop pass from inside an event loop.
 
     Args:
         host/port: the server to load.
-        requests: ``(endpoint, kwargs)`` pairs, issued in order across
-            the worker pool.
+        requests: ``(endpoint, kwargs)`` or ``(endpoint, kwargs,
+            priority)`` tuples, issued in order across the worker pool.
         concurrency: worker count; each holds one connection and keeps
             one request in flight.
+        secret: shared fabric secret for request signing (default: the
+            ``REPRO_FABRIC_SECRET`` environment variable).
 
     Returns:
         a :class:`LoadResult`; records keep request order indices so
@@ -116,44 +131,49 @@ async def run_load_async(
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
     queue: asyncio.Queue = asyncio.Queue()
-    for index, (endpoint, kwargs) in enumerate(requests):
-        queue.put_nowait((index, endpoint, kwargs))
+    for index, item in enumerate(requests):
+        endpoint, kwargs = item[0], item[1]
+        priority = item[2] if len(item) > 2 else None
+        queue.put_nowait((index, endpoint, kwargs, priority))
     records: list[RequestRecord] = []
 
     async def worker() -> None:
         try:
-            client = await AsyncServeClient.connect(host, port)
+            client = await AsyncServeClient.connect(host, port, secret=secret)
         except Exception as exc:
             # A dead/unreachable server is a *result* (error records),
             # not a crash of the whole pass: drain this worker's share.
             while True:
                 try:
-                    index, endpoint, kwargs = queue.get_nowait()
+                    index, endpoint, kwargs, priority = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
                 records.append(RequestRecord(
                     endpoint=endpoint, index=index, ok=False, cached=False,
-                    coalesced=False, latency_ms=0.0, error=f"connect failed: {exc}"))
+                    coalesced=False, latency_ms=0.0, error=f"connect failed: {exc}",
+                    priority=priority or "normal"))
         try:
             while True:
                 try:
-                    index, endpoint, kwargs = queue.get_nowait()
+                    index, endpoint, kwargs, priority = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
                 t0 = time.perf_counter()
                 try:
-                    response = await client.request(endpoint, **kwargs)
+                    response = await client.send(endpoint, kwargs, priority=priority)
                     records.append(RequestRecord(
-                        endpoint=endpoint, index=index, ok=True,
+                        endpoint=endpoint, index=index, ok=response.ok,
                         cached=response.cached, coalesced=response.coalesced,
                         latency_ms=(time.perf_counter() - t0) * 1000.0,
-                        value=response.value))
+                        value=response.value, error=response.error,
+                        shed=response.shed, priority=priority or "normal",
+                        worker=response.worker))
                 except Exception as exc:
                     records.append(RequestRecord(
                         endpoint=endpoint, index=index, ok=False, cached=False,
                         coalesced=False,
                         latency_ms=(time.perf_counter() - t0) * 1000.0,
-                        error=str(exc)))
+                        error=str(exc), priority=priority or "normal"))
         finally:
             await client.aclose()
 
@@ -167,15 +187,17 @@ async def run_load_async(
 def run_load(
     host: str,
     port: int,
-    requests: list[tuple[str, dict]],
+    requests: list[tuple],
     concurrency: int = 4,
+    secret: str | None = None,
 ) -> LoadResult:
     """Synchronous wrapper around :func:`run_load_async`.
 
     Call from a thread that is *not* running the server's event loop
     (the server runs on its own thread under :class:`ServerHandle`).
     """
-    return asyncio.run(run_load_async(host, port, requests, concurrency=concurrency))
+    return asyncio.run(
+        run_load_async(host, port, requests, concurrency=concurrency, secret=secret))
 
 
 def default_mix(n: int, scale: str = "smoke") -> list[tuple[str, dict]]:

@@ -9,6 +9,11 @@ Request fields::
 
     {"id": 7, "endpoint": "runtime_point", "kwargs": {"density": 0.5}}
 
+plus two optional fabric fields (``docs/api.md``): ``"priority"``
+(``"high"`` / ``"normal"`` / ``"low"``, admission class on a fabric
+front-end) and ``"auth"`` (HMAC signature, required by servers started
+with a shared secret — :mod:`repro.fabric.auth`).
+
 Response fields::
 
     {"id": 7, "ok": true, "value": 0.42, "cached": false,
@@ -17,6 +22,15 @@ Response fields::
 or, on failure::
 
     {"id": 7, "ok": false, "error": "unknown endpoint 'nope'"}
+
+or, when a fabric front-end refuses the request under overload
+(HTTP-503 semantics — retry later, the request was never started)::
+
+    {"id": 7, "ok": false, "shed": true, "status": 503,
+     "error": "shed: queue-depth (priority low)"}
+
+Front-end responses forwarded from a worker also carry ``"worker"``,
+the id of the worker that served the request.
 
 JSON float serialization uses ``repr`` round-tripping, so a float value
 computed by a worker arrives at the client bit-identical to a direct
@@ -97,6 +111,11 @@ class Response:
             (``None`` for cache hits and errors).
         elapsed_ms: server-side time from request decode to response.
         error: human-readable failure description when ``ok`` is false.
+        shed: a fabric front-end refused the request under overload;
+            the request was never started, so retrying later is safe.
+        status: numeric status accompanying a refusal (503 on shed).
+        worker: id of the fabric worker that served a forwarded
+            request (``None`` off-fabric).
     """
 
     id: int
@@ -107,6 +126,9 @@ class Response:
     shard: int | None = None
     elapsed_ms: float = 0.0
     error: str | None = None
+    shed: bool = False
+    status: int | None = None
+    worker: str | None = None
 
     @classmethod
     def from_wire(cls, payload: dict) -> Response:
@@ -120,4 +142,7 @@ class Response:
             shard=payload.get("shard"),
             elapsed_ms=float(payload.get("elapsed_ms", 0.0)),
             error=payload.get("error"),
+            shed=bool(payload.get("shed")),
+            status=payload.get("status"),
+            worker=payload.get("worker"),
         )

@@ -11,17 +11,20 @@ properties make this the right router for a serving cache:
 * **resize stability** — growing the pool from N to N+1 shards remaps
   only ~1/(N+1) of the key space, instead of reshuffling everything the
   way ``hash(key) % N`` would.
+
+Since the fabric landed, the ring mechanics live in
+:class:`repro.fabric.ring.HashRing` — the network generalization over
+arbitrary named nodes — and :class:`ShardRouter` is a façade over a
+ring whose nodes are ``"shard-0" .. "shard-{N-1}"``.  The point labels
+are byte-identical to the pre-fabric ones, so routing (and therefore
+shard warmth across upgrades) is unchanged.
 """
 
 from __future__ import annotations
 
-import bisect
-import hashlib
+from repro.fabric.ring import HashRing, ring_hash
 
-
-def _ring_hash(text: str) -> int:
-    """Position of a label on the ring (first 8 bytes of SHA-256)."""
-    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+_ring_hash = ring_hash  # historical name, kept for callers and tests
 
 
 class ShardRouter:
@@ -36,25 +39,16 @@ class ShardRouter:
     def __init__(self, num_shards: int, replicas: int = 64):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
-        if replicas < 1:
-            raise ValueError("replicas must be >= 1")
         self.num_shards = num_shards
         self.replicas = replicas
-        points = []
-        for shard in range(num_shards):
-            for replica in range(replicas):
-                points.append((_ring_hash(f"shard-{shard}:{replica}"), shard))
-        points.sort()
-        self._hashes = [h for h, _ in points]
-        self._shards = [s for _, s in points]
+        self._ring = HashRing(
+            (f"shard-{shard}" for shard in range(num_shards)), replicas=replicas)
 
     def route(self, key: str) -> int:
         """The shard owning ``key`` (deterministic across instances)."""
-        position = _ring_hash(key)
-        index = bisect.bisect_right(self._hashes, position)
-        if index == len(self._hashes):
-            index = 0  # wrap: past the last point means the first shard
-        return self._shards[index]
+        node = self._ring.route(key)
+        assert node is not None  # the ring always has >= 1 shard
+        return int(node.removeprefix("shard-"))
 
     def resized(self, num_shards: int) -> ShardRouter:
         """A router for a grown/shrunk pool, same replica count."""

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from functools import partial
 
+from repro.fabric.auth import verify_message
 from repro.runtime.cache import MISS, ResultCache, fn_identity
 from repro.runtime.tiers import TieredCache
 from repro.serve import endpoints as endpoints_mod
@@ -60,6 +61,10 @@ class ServeConfig:
         remote_timeout: per-operation timeout for the remote tier, in
             seconds — bounds how long a local miss can stall on a sick
             peer before falling through to compute.
+        auth_secret: shared fabric secret (:mod:`repro.fabric.auth`).
+            When set, every request must carry a valid HMAC ``auth``
+            field — checked before the endpoint is even resolved.
+            ``None`` keeps the server open (the pre-fabric behaviour).
     """
 
     host: str = "127.0.0.1"
@@ -73,6 +78,7 @@ class ServeConfig:
     cache_max_bytes: int | None = None
     remote_cache: str | None = None
     remote_timeout: float = 2.0
+    auth_secret: str | None = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -90,6 +96,7 @@ class ServeStats:
     misses: int = 0
     coalesced: int = 0
     errors: int = 0
+    auth_rejected: int = 0
     batches: int = 0
     per_shard: dict = field(default_factory=dict)
 
@@ -102,6 +109,7 @@ class ServeStats:
             "misses": self.misses,
             "coalesced": self.coalesced,
             "errors": self.errors,
+            "auth_rejected": self.auth_rejected,
             "batches": self.batches,
             "per_shard": dict(self.per_shard),
             "hit_rate": self.hits / served if served else 0.0,
@@ -273,6 +281,14 @@ class Server:
                 raise ProtocolError("missing 'endpoint'")
             if not isinstance(kwargs, dict):
                 raise ProtocolError("'kwargs' must be an object")
+            if self.config.auth_secret is not None and not verify_message(
+                    self.config.auth_secret, message):
+                # Before resolving the endpoint, touching the cache, or
+                # running anything: an unauthenticated caller gets one
+                # refusal line and nothing else.
+                self.stats.auth_rejected += 1
+                return {"id": rid, "ok": False, "status": 401,
+                        "error": "unauthenticated: missing or bad 'auth' signature"}
             if name == "_stats":
                 return self._ok(rid, self.stats_snapshot(), started)
             if name == "_endpoints":

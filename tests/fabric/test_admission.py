@@ -1,0 +1,117 @@
+"""Tests for admission control: buckets, the depth ladder, stats."""
+
+import pytest
+
+from repro.fabric import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [True, True, True, False]
+        clock.advance(0.1)  # one token back at 10/s
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        bucket.try_take(), bucket.try_take()
+        clock.advance(60.0)  # a minute idle must not bank 6000 tokens
+        assert [bucket.try_take() for _ in range(3)] == [True, True, False]
+
+    def test_none_rate_disables(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.try_take() for _ in range(1000))
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+
+class TestDepthLadder:
+    def test_low_sheds_first_then_normal_then_high(self):
+        """The whole point: background traffic degrades before interactive."""
+        controller = AdmissionController(max_inflight=8)
+        # Fill to 4 in-flight (50%): low sheds, normal and high admit.
+        for _ in range(4):
+            assert controller.admit("high").admitted
+        low = controller.admit("low")
+        assert not low.admitted and low.reason == "queue-depth"
+        assert controller.admit("normal").admitted  # now 5
+        assert controller.admit("normal").admitted  # now 6 (75%): normal caps
+        assert not controller.admit("normal").admitted
+        assert controller.admit("high").admitted    # 7
+        assert controller.admit("high").admitted    # 8: hard ceiling
+        assert not controller.admit("high").admitted
+
+    def test_release_reopens(self):
+        controller = AdmissionController(max_inflight=2)
+        assert controller.admit("low").admitted
+        assert not controller.admit("low").admitted  # 1 >= 50% of 2
+        controller.release()
+        assert controller.admit("low").admitted
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController(max_inflight=4)
+        controller.release()
+        assert controller.inflight == 0
+
+    def test_default_priority_is_normal(self):
+        controller = AdmissionController(max_inflight=4)
+        decision = controller.admit(None)
+        assert decision.admitted and decision.priority == "normal"
+
+    def test_bad_priority_raises(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=4).admit("urgent")
+
+    def test_rejects_bad_max_inflight(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+
+
+class TestRates:
+    def test_rate_sheds_only_the_metered_priority(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_inflight=1000, rates={"low": 2.0}, clock=clock)
+        outcomes = [controller.admit("low") for _ in range(4)]
+        assert [d.admitted for d in outcomes] == [True, True, False, False]
+        assert outcomes[2].reason == "rate"
+        assert controller.admit("normal").admitted  # unmetered class unaffected
+
+    def test_rate_shed_does_not_consume_inflight(self):
+        clock = FakeClock()
+        controller = AdmissionController(max_inflight=10, rates={"low": 1.0}, clock=clock)
+        controller.admit("low")
+        controller.admit("low")  # rate-shed
+        assert controller.inflight == 1
+
+
+class TestStats:
+    def test_snapshot_accounts_every_decision(self):
+        controller = AdmissionController(max_inflight=2)
+        controller.admit("high")
+        controller.admit("high")
+        controller.admit("high")  # shed at ceiling
+        controller.admit("low")   # shed by ladder
+        snap = controller.snapshot()
+        assert snap["admitted"]["high"] == 2
+        assert snap["shed"]["high"] == 1 and snap["shed"]["low"] == 1
+        assert snap["shed_total"] == 2
+        assert snap["shed_queue_depth"] == 2
+        assert snap["inflight"] == 2
+        assert snap["shed_fraction"] == pytest.approx(0.5)

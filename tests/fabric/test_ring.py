@@ -1,0 +1,123 @@
+"""Property and unit tests for the fabric hash ring.
+
+The two load-bearing claims of ``repro.fabric.ring`` — distribution
+close enough to uniform, and bounded key movement on membership change
+— are pinned here with hypothesis driving the member sets.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric import HashRing
+
+#: Worker-id-shaped node names (distinct within one example).
+_node_sets = st.sets(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12),
+    min_size=1, max_size=8)
+
+
+def _keys(n: int) -> list[str]:
+    return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n)]
+
+
+class TestRouting:
+    def test_empty_ring_routes_nowhere(self):
+        ring = HashRing()
+        assert ring.route("anything") is None
+        assert ring.preference("anything") == []
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert {ring.route(k) for k in _keys(50)} == {"only"}
+
+    def test_set_determined(self):
+        """Routing is a function of the member *set*, not its history."""
+        a = HashRing(["w1", "w2", "w3"])
+        b = HashRing(["w3", "w1"])
+        b.add("w2")
+        b.add("extra")
+        b.remove("extra")
+        keys = _keys(200)
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_membership_api(self):
+        ring = HashRing(replicas=8)
+        assert ring.add("a") and not ring.add("a")
+        assert "a" in ring and "b" not in ring
+        assert ring.remove("a") and not ring.remove("a")
+        assert ring.nodes == ()
+
+    def test_rejects_bad_replicas(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+class TestPreference:
+    def test_preference_starts_at_owner_and_covers_all(self):
+        ring = HashRing(["w1", "w2", "w3", "w4"])
+        for key in _keys(20):
+            order = ring.preference(key)
+            assert order[0] == ring.route(key)
+            assert sorted(order) == sorted(ring.nodes)
+
+    def test_preference_limit(self):
+        ring = HashRing(["w1", "w2", "w3"])
+        assert len(ring.preference("k", limit=2)) == 2
+
+    def test_preference_next_is_route_after_owner_leaves(self):
+        """The failover order IS the post-eviction routing."""
+        ring = HashRing(["w1", "w2", "w3"])
+        for key in _keys(50):
+            first, second = ring.preference(key, limit=2)
+            smaller = HashRing(set(ring.nodes) - {first})
+            assert smaller.route(key) == second
+
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=_node_sets)
+def test_distribution_within_2x_of_uniform(nodes):
+    """Every node's key share stays within 2x of the uniform share."""
+    ring = HashRing(nodes, replicas=64)
+    keys = _keys(4000)
+    counts = {n: 0 for n in nodes}
+    for k in keys:
+        counts[ring.route(k)] += 1
+    fair = len(keys) / len(nodes)
+    assert all(count <= 2 * fair for count in counts.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=_node_sets, joiner=st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12))
+def test_join_moves_at_most_its_fair_share(nodes, joiner):
+    """A join remaps ~1/(n+1) of keys — all of them TO the joiner."""
+    before = HashRing(nodes, replicas=64)
+    after = HashRing(nodes, replicas=64)
+    grew = after.add(joiner)
+    keys = _keys(2000)
+    moved = [k for k in keys if before.route(k) != after.route(k)]
+    if not grew:  # joiner was already a member: nothing may move
+        assert moved == []
+        return
+    # Every moved key landed on the joiner (consistent hashing's core
+    # promise), and the moved fraction is about one fair share — 2x
+    # slack for virtual-point variance at small n.
+    assert all(after.route(k) == joiner for k in moved)
+    assert len(moved) / len(keys) <= 2.0 / (len(nodes) + 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=_node_sets)
+def test_leave_moves_only_the_leavers_keys(nodes):
+    """A leave remaps exactly the leaver's keys, nothing else."""
+    leaver = sorted(nodes)[0]
+    before = HashRing(nodes, replicas=64)
+    after = HashRing(nodes, replicas=64)
+    after.remove(leaver)
+    for k in _keys(1000):
+        if before.route(k) != leaver:
+            assert after.route(k) == before.route(k)

@@ -3,6 +3,8 @@
 import hashlib
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serve import ShardRouter
 
@@ -63,3 +65,49 @@ class TestValidation:
             ShardRouter(0)
         with pytest.raises(ValueError):
             ShardRouter(2, replicas=0)
+
+
+class TestRingProperties:
+    """Hypothesis-driven guarantees the fabric front-end relies on:
+    the router's distribution and resize behaviour, checked across
+    arbitrary key populations rather than one fixed key set."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_distribution_within_2x_of_uniform_across_8_shards(self, seed):
+        router = ShardRouter(8)
+        keys = [hashlib.sha256(f"{seed}:{i}".encode()).hexdigest()
+                for i in range(4000)]
+        counts = [0] * 8
+        for k in keys:
+            counts[router.route(k)] += 1
+        fair = len(keys) / 8
+        assert all(count <= 2 * fair for count in counts)
+        assert all(count > 0 for count in counts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(num_shards=st.integers(min_value=1, max_value=12),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_grow_remaps_at_most_about_one_share(self, num_shards, seed):
+        """N -> N+1 moves ~1/(N+1) of keys, all onto the new shard."""
+        before = ShardRouter(num_shards)
+        after = before.resized(num_shards + 1)
+        keys = [hashlib.sha256(f"{seed}:{i}".encode()).hexdigest()
+                for i in range(1500)]
+        moved = [k for k in keys if before.route(k) != after.route(k)]
+        assert all(after.route(k) == num_shards for k in moved)
+        # 2x slack over the ideal share for virtual-point variance.
+        assert len(moved) / len(keys) <= 2.0 / (num_shards + 1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(num_shards=st.integers(min_value=2, max_value=12),
+           seed=st.integers(min_value=0, max_value=10_000))
+    def test_shrink_remaps_only_the_lost_shards_keys(self, num_shards, seed):
+        before = ShardRouter(num_shards)
+        after = before.resized(num_shards - 1)
+        keys = [hashlib.sha256(f"{seed}:{i}".encode()).hexdigest()
+                for i in range(1000)]
+        lost = num_shards - 1
+        for k in keys:
+            if before.route(k) != lost:
+                assert after.route(k) == before.route(k)
