@@ -29,7 +29,7 @@ import threading
 import time
 from pathlib import Path
 
-from conftest import run_once, smoke_mode
+from conftest import run_once, smoke_mode, write_bench_json
 
 import repro
 from repro.fabric import FrontendConfig, FrontendHandle
@@ -160,10 +160,7 @@ def test_bench_cluster(benchmark, record_result):
         rows,
         data=data,
     )
-    artifact = os.environ.get("REPRO_BENCH_CLUSTER_JSON")
-    if artifact:
-        with open(artifact, "w") as fh:
-            json.dump(data, fh, indent=2, sort_keys=True)
+    write_bench_json("REPRO_BENCH_CLUSTER_JSON", "cluster", data)
 
     steady, failover, overload = (
         passes["steady"]["result"], passes["failover"]["result"],

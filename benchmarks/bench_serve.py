@@ -15,11 +15,9 @@ written there as the ``BENCH_serve.json`` artifact.
 """
 
 import dataclasses
-import json
-import os
 import tempfile
 
-from conftest import run_once, smoke_mode
+from conftest import run_once, smoke_mode, write_bench_json
 
 from repro.serve import ServeConfig, ServerHandle, default_mix, run_load
 
@@ -54,11 +52,9 @@ def test_bench_serve_cold_vs_warm(benchmark, record_result):
         rows,
         data=passes,
     )
-    artifact = os.environ.get("REPRO_BENCH_SERVE_JSON")
-    if artifact:
-        with open(artifact, "w") as fh:
-            json.dump({name: dataclasses.asdict(s)
-                       for name, s in passes.items()}, fh, indent=2, sort_keys=True)
+    write_bench_json(
+        "REPRO_BENCH_SERVE_JSON", "serve",
+        {name: dataclasses.asdict(s) for name, s in passes.items()})
     assert cold.shed == 0 and warm.shed == 0
     assert cold.errors == 0 and warm.errors == 0
     assert warm.hit_rate == 1.0

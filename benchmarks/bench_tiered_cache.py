@@ -16,13 +16,11 @@ is set (nightly CI), the raw passes are also written there as the
 grid.
 """
 
-import json
-import os
 import tempfile
 import time
 from pathlib import Path
 
-from conftest import run_once, smoke_mode
+from conftest import run_once, smoke_mode, write_bench_json
 
 from repro.runtime import CachePeer, Runtime, TieredCache, WorkItem
 from repro.serve.endpoints import runtime_point
@@ -98,10 +96,7 @@ def test_bench_tiered_cache(benchmark, record_result):
         rows,
         data=data,
     )
-    artifact = os.environ.get("REPRO_BENCH_TIERS_JSON")
-    if artifact:
-        with open(artifact, "w") as fh:
-            json.dump(data, fh, indent=2, sort_keys=True)
+    write_bench_json("REPRO_BENCH_TIERS_JSON", "tiers", data)
 
     # Accounting floors (timing-free, CI-safe):
     n = len(items)

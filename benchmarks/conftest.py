@@ -18,20 +18,59 @@ environment so CI can scale the benches without touching code:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
-from repro.experiments.common import dump_json, format_table
+from repro.experiments.common import _to_jsonable, dump_json, format_table
 from repro.runtime import ResultCache, Runtime, set_runtime
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Version of the bench-artifact envelope all ``BENCH_*.json`` files
+#: (except pytest-benchmark's own ``BENCH_kernels.json``) are written
+#: in.  Bump when the payload layout changes so the trend analyzer
+#: (:mod:`repro.regress.trend`) and committed references never compare
+#: across incompatible shapes.
+BENCH_SCHEMA_VERSION = 1
 
 
 def smoke_mode() -> bool:
     """Whether the benches should run at reduced smoke scale."""
     return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def bench_envelope(kind: str, data: object) -> dict:
+    """Wrap a bench payload in the stable, host-independent envelope.
+
+    Only machine-neutral context goes in the envelope: the schema
+    version, the bench kind, and the scale flag.  Hostnames, paths,
+    timestamps, and env dumps are deliberately excluded so two machines'
+    artifacts diff cleanly (wall-clock numbers inside ``data`` are the
+    *measurements* — the trend analyzer owns judging those).
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": kind,
+        "smoke": smoke_mode(),
+        "data": _to_jsonable(data),
+    }
+
+
+def write_bench_json(env_var: str, kind: str, data: object) -> str | None:
+    """Write the enveloped artifact if its env var names a path.
+
+    Returns the path written, or None when the env var is unset (local
+    runs that only want the ``benchmarks/results/`` record).
+    """
+    artifact = os.environ.get(env_var)
+    if not artifact:
+        return None
+    with open(artifact, "w") as fh:
+        json.dump(bench_envelope(kind, data), fh, indent=2, sort_keys=True)
+    return artifact
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -47,14 +86,18 @@ def bench_runtime():
 
 @pytest.fixture
 def record_result():
-    """Persist a bench's table text + raw data under results/."""
+    """Persist a bench's table text + raw data under results/.
+
+    The JSON record is wrapped in :func:`bench_envelope`, so committed
+    result snapshots carry the schema version and stay host-independent.
+    """
 
     def _record(name: str, headers, rows, data=None) -> str:
         RESULTS_DIR.mkdir(exist_ok=True)
         text = format_table(headers, rows)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         if data is not None:
-            dump_json(data, RESULTS_DIR / f"{name}.json")
+            dump_json(bench_envelope(name, data), RESULTS_DIR / f"{name}.json")
         print(f"\n=== {name} ===")
         print(text)
         return text

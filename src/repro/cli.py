@@ -26,7 +26,14 @@ Commands:
   server; reports p50/p99 latency, throughput, and the warm-over-cold
   speedup, optionally writing a ``BENCH_serve.json`` artifact;
 * ``factorize`` — factorize a random quantized layer and report table
-  statistics (a quick feel for the mechanism).
+  statistics (a quick feel for the mechanism);
+* ``regress`` — the golden-result harness (``repro.regress``):
+  ``--check`` regenerates every registered experiment at its pinned
+  fast scale and diffs it against the committed reference under
+  ``references/`` (exit 1 + drift report on divergence), ``--update``
+  rewrites the references intentionally, ``--only``/``--smoke`` select
+  subsets, and ``--trend KIND FILES...`` analyzes a ``BENCH_*.json``
+  trajectory for >20% regressions vs the trailing median.
 
 Examples::
 
@@ -43,6 +50,9 @@ Examples::
     python -m repro.cli worker --join 127.0.0.1:8640 --workers 2
     python -m repro.cli bench-serve --requests 200 --verify --json BENCH_serve.json
     python -m repro.cli factorize --u 17 --density 0.9 --c 64
+    python -m repro.cli regress --check
+    python -m repro.cli regress --update --only fig11,engine-digest
+    python -m repro.cli regress --trend kernels night1.json night2.json night3.json
 
 Fabric commands read the shared HMAC secret from ``--secret`` or the
 ``REPRO_FABRIC_SECRET`` environment variable (see ``docs/api.md``).
@@ -573,17 +583,26 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
               f"{parity['mismatches']} mismatch(es)")
 
     if args.json:
+        # Same host-independent envelope the bench suite writes (see
+        # benchmarks/conftest.py): schema-versioned, no hostnames or
+        # timestamps, so artifacts diff cleanly across machines and the
+        # trend analyzer (`repro regress --trend serve`) can read them.
         payload = {
-            "requests": args.requests,
-            "concurrency": args.concurrency,
-            "workers": args.workers,
-            "mode": args.mode,
-            "scale": args.scale,
-            "cold": asdict(cold.stats),
-            "warm": asdict(warm.stats),
-            "warm_speedup": speedup,
-            "parity": parity if args.verify else None,
-            "server": server_stats,
+            "schema_version": 1,
+            "kind": "serve",
+            "smoke": args.scale == "smoke",
+            "data": {
+                "requests": args.requests,
+                "concurrency": args.concurrency,
+                "workers": args.workers,
+                "mode": args.mode,
+                "scale": args.scale,
+                "cold": asdict(cold.stats),
+                "warm": asdict(warm.stats),
+                "warm_speedup": speedup,
+                "parity": parity if args.verify else None,
+                "server": server_stats,
+            },
         }
         with open(args.json, "w") as fh:
             json_mod.dump(payload, fh, indent=2, sort_keys=True)
@@ -591,6 +610,67 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     if failures:
         raise SystemExit("bench-serve failed: " + "; ".join(failures))
     return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    """Golden-result harness: check/update references, analyze trends.
+
+    ``--check`` (the default) regenerates every selected experiment at
+    its pinned fast scale — result cache disabled, so nothing stale can
+    hide drift — and structurally diffs it against the committed
+    reference, printing a drift report that names each diverging path.
+    ``--update`` rewrites the references (do this *intentionally*, and
+    commit the diff).  ``--trend KIND FILES...`` instead reads a
+    ``BENCH_*.json`` trajectory (oldest first) and fails on any metric
+    >20% worse than its trailing median — the gate that catches decay
+    the static floors miss.
+    """
+    from repro.regress import (
+        ReferenceStore,
+        analyze_trend,
+        load_payloads,
+        render_alerts,
+        resolve_ids,
+        run_check,
+        run_update,
+    )
+
+    if args.trend:
+        if args.update:
+            raise SystemExit("--trend and --update are mutually exclusive")
+        if not args.bench_files:
+            raise SystemExit("--trend needs BENCH_*.json files (oldest first)")
+        history = load_payloads(args.bench_files)
+        alerts = analyze_trend(
+            args.trend, history, threshold=args.threshold, window=args.window)
+        print(render_alerts(args.trend, alerts))
+        return 1 if alerts else 0
+    if args.bench_files:
+        raise SystemExit("bench files only make sense with --trend KIND")
+    if args.check and args.update:
+        raise SystemExit("--check and --update are mutually exclusive")
+
+    specs = resolve_ids(only=args.only, smoke=args.smoke)
+    if not specs:
+        raise SystemExit("no experiments selected")
+    store = ReferenceStore(root=args.references)
+    if args.list:
+        for spec in specs:
+            state = "reference ok" if store.has(spec.experiment) else "NO REFERENCE"
+            smoke = " [smoke]" if spec.smoke else ""
+            print(f"{spec.experiment:14s} {spec.module}{smoke} — {state}")
+        return 0
+    if args.update:
+        summary = run_update(specs, store, workers=args.workers)
+    else:
+        summary = run_check(specs, store, workers=args.workers)
+    report = summary.render()
+    print(report)
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {args.report}")
+    return 0 if summary.ok else 1
 
 
 def cmd_factorize(args: argparse.Namespace) -> int:
@@ -763,6 +843,39 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", default=None,
                        help="write the BENCH_serve.json artifact here")
     bench.set_defaults(func=cmd_bench_serve)
+
+    regress = sub.add_parser(
+        "regress", help="golden-result harness: check/update committed references")
+    regress.add_argument("--check", action="store_true",
+                         help="regenerate and diff against references (the default)")
+    regress.add_argument("--update", action="store_true",
+                         help="rewrite references from fresh regeneration "
+                              "(intentional result changes only — commit the diff)")
+    regress.add_argument("--only", default=None, metavar="IDS",
+                         help="comma-separated experiment ids (e.g. fig11,engine-digest)")
+    regress.add_argument("--smoke", action="store_true",
+                         help="restrict to the cheap CI smoke subset")
+    regress.add_argument("--list", action="store_true",
+                         help="list selected experiments and reference status")
+    regress.add_argument("--references", default=None, metavar="DIR",
+                         help="reference directory (default: references/ in the repo, "
+                              "or $REPRO_REFERENCES_DIR)")
+    regress.add_argument("--workers", type=int, default=0,
+                         help="processes to fan regeneration across (0 = serial)")
+    regress.add_argument("--report", default=None, metavar="FILE",
+                         help="also write the drift report to this file")
+    regress.add_argument("--trend", default=None, metavar="KIND",
+                         choices=("kernels", "serve", "tiers", "cluster"),
+                         help="analyze a BENCH_*.json trajectory instead of "
+                              "checking references")
+    regress.add_argument("bench_files", nargs="*", metavar="BENCH_JSON",
+                         help="bench artifacts for --trend, oldest first")
+    regress.add_argument("--threshold", type=float, default=0.20,
+                         help="fractional regression vs trailing median that fails "
+                              "the trend gate (default 0.20)")
+    regress.add_argument("--window", type=int, default=7,
+                         help="trailing runs feeding the median (default 7)")
+    regress.set_defaults(func=cmd_regress)
 
     fac = sub.add_parser("factorize", help="factorize a random layer")
     fac.add_argument("--k", type=int, default=8)

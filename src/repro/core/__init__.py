@@ -16,7 +16,11 @@
   input indirection table (Section IV-C "Additional table compression");
 * :mod:`repro.core.model_size` — model-size accounting for Figure 13/14;
 * :mod:`repro.core.partial_product` — partial product reuse
-  (Section III-C), implemented as an extension/ablation.
+  (Section III-C), implemented as an extension/ablation;
+* :mod:`repro.core.seeding` — the deterministic RNG seeding helpers
+  (:func:`stable_seed` / :func:`stable_rng`) every experiment routes
+  its randomness through, so regenerated results are bit-reproducible
+  and the golden-reference harness (:mod:`repro.regress`) can diff them.
 """
 
 from repro.core.activation_groups import (
@@ -29,6 +33,7 @@ from repro.core.hierarchical import FilterGroupTables, build_filter_group_tables
 from repro.core.indirection import FactorizedFilter, factorize_filter
 from repro.core.jump_encoding import JumpTable, encode_jumps, grouped_jump_stats
 from repro.core.model_size import bits_per_weight, model_size_bits
+from repro.core.seeding import stable_rng, stable_seed
 from repro.core.serialization import pack_layer, pack_tables, unpack_tables
 
 __all__ = [
@@ -48,5 +53,7 @@ __all__ = [
     "model_size_bits",
     "pack_layer",
     "pack_tables",
+    "stable_rng",
+    "stable_seed",
     "unpack_tables",
 ]

@@ -75,18 +75,23 @@ def compressed_segments(
 
     Returns:
         ``(starts, empty)`` — int64 start offsets into the compressed
-        stream, clamped into ``[0, total)`` so ``np.add.reduceat``
-        accepts them, and the boolean mask of segments whose entries
-        were all dropped (their reduceat output must be zeroed: with
-        equal consecutive indices reduceat returns the element at the
-        index, which belongs to the *next* segment).
+        stream, and the boolean mask of segments whose entries were all
+        dropped (their reduceat output must be zeroed: with equal
+        consecutive indices reduceat returns the element at the index,
+        which belongs to the *next* segment).
+
+    Starts may equal ``total``: a run of all-dropped segments at the
+    tail of the stream maps there, and clamping it lower would steal
+    the last entry from the preceding live segment (reduceat ends
+    segment ``i`` at ``starts[i + 1]``).  Callers must therefore pad
+    the compressed stream with one zero sentinel row at index
+    ``total`` before reducing with these offsets.
     """
     raw = prefix[seg_starts]
     ends = np.empty_like(raw)
     ends[:-1] = raw[1:]
     ends[-1] = total
-    empty = raw == ends
-    return np.minimum(raw, total - 1), empty
+    return raw, raw == ends
 
 
 def _run_pass(
@@ -166,7 +171,13 @@ def execute_program(
                 np.cumsum(keep, out=prefix[1:])
                 total = int(prefix[-1])
                 gather = program.gather[keep]
-        gathered = block[:, gather]
+        if prefix is None:
+            gathered = block[:, gather]
+        else:
+            # One zero sentinel column at index ``total``: segment
+            # offsets from compressed_segments may point there.
+            gathered = np.zeros((block.shape[0], total + 1), dtype=np.int64)
+            gathered[:, :total] = block[:, gather]
         for p in program.passes:
             _run_pass(gathered, p, out, lo, hi, prefix, total)
     return out

@@ -642,8 +642,16 @@ def _run_shard(
             np.cumsum(keep, out=prefix[1:])
             total = kept
             gather = gather[keep]
-    gathered = gather_buf[: gather.size * width].reshape(gather.size, width)
-    np.take(cols, gather, axis=0, out=gathered)
+    if prefix is None:
+        gathered = gather_buf[: total * width].reshape(total, width)
+        np.take(cols, gather, axis=0, out=gathered)
+    else:
+        # One zero sentinel row at index ``total``: segment offsets
+        # from compressed_segments may point there.  Fits the scratch
+        # buffer because compression only runs when kept < entries.
+        gathered = gather_buf[: (total + 1) * width].reshape(total + 1, width)
+        np.take(cols, gather, axis=0, out=gathered[:total])
+        gathered[total] = 0
     for p in program.passes:
         if prefix is None:
             starts, empty = p.seg_starts, None

@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.core.activation_groups import canonical_weight_order
 from repro.core.hierarchical import build_filter_group_tables
-from repro.experiments.common import network_shapes, stable_seed, uniform_weight_provider
+from repro.core.seeding import stable_rng
+from repro.experiments.common import network_shapes, uniform_weight_provider
 from repro.nn.tensor import ConvShape
 from repro.runtime import WorkItem, execute
 
@@ -116,7 +117,7 @@ def _depth_point(shape: ConvShape, num_unique: int, density: float, max_g: int) 
     """Design point: the useful reuse depth of one layer."""
     provider = uniform_weight_provider(num_unique, density, tag="abl-depth")
     weights = provider(shape)
-    rng = np.random.default_rng(stable_seed("abl-depth", shape.name, num_unique))
+    rng = stable_rng("abl-depth", shape.name, num_unique)
     useful = 1
     for g in range(2, max_g + 1):
         if _mean_innermost_size(weights, g, rng) > 1.0:

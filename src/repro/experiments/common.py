@@ -14,7 +14,6 @@ it inside every loop iteration.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import math
 from collections.abc import Iterable, Sequence
@@ -24,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.seeding import stable_rng, stable_seed  # noqa: F401 — re-exported
 from repro.nn.network import Network
 from repro.nn.tensor import ConvShape
 from repro.nn.zoo import get_network
@@ -34,13 +34,6 @@ PAPER_NETWORKS = ("lenet", "alexnet", "resnet50")
 
 #: Input activation density used throughout the evaluation.
 INPUT_DENSITY = 0.35
-
-
-def stable_seed(*parts: object) -> int:
-    """Deterministic 63-bit seed from arbitrary labelled parts."""
-    text = "|".join(str(p) for p in parts)
-    digest = hashlib.sha256(text.encode()).digest()
-    return int.from_bytes(digest[:8], "little") >> 1
 
 
 def best_of(fn, repeats: int = 3) -> float:
@@ -87,8 +80,7 @@ class UniformWeightProvider:
 
     def generate(self, shape: ConvShape) -> np.ndarray:
         """Generate the tensor (uncached; use ``__call__`` normally)."""
-        rng = np.random.default_rng(
-            stable_seed("uniform", shape.name, self.num_unique, self.density, self.tag))
+        rng = stable_rng("uniform", shape.name, self.num_unique, self.density, self.tag)
         return uniform_unique_weights(shape.weight_shape, self.num_unique, self.density, rng).values
 
 
@@ -104,7 +96,7 @@ class InqWeightProvider:
 
     def generate(self, shape: ConvShape) -> np.ndarray:
         """Generate the tensor (uncached; use ``__call__`` normally)."""
-        rng = np.random.default_rng(stable_seed("inq", shape.name, self.density, self.tag))
+        rng = stable_rng("inq", shape.name, self.density, self.tag)
         return inq_like_weights(shape.weight_shape, density=self.density, rng=rng).values
 
 
@@ -207,6 +199,6 @@ def _to_jsonable(obj: object):
         return [_to_jsonable(v) for v in obj]
     if isinstance(obj, np.ndarray):
         return obj.tolist()
-    if isinstance(obj, (np.integer, np.floating)):
+    if isinstance(obj, np.generic):
         return obj.item()
     return obj

@@ -16,10 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.analysis.repetition import LayerRepetition, layer_repetition
-from repro.experiments.common import stable_seed
+from repro.core.seeding import stable_rng
 from repro.nn.zoo import get_network, paper_figure3_layers
 from repro.quant.distributions import inq_like_weights
 from repro.runtime import WorkItem, execute
@@ -52,7 +50,7 @@ def _network_repetition(network: str, density: float) -> list[LayerRepetition]:
     for conv in net.conv_layers():
         if conv.name not in wanted:
             continue
-        rng = np.random.default_rng(stable_seed("fig03", network, conv.name))
+        rng = stable_rng("fig03", network, conv.name)
         weights = inq_like_weights(conv.shape.weight_shape, density=density, rng=rng)
         reps.append(layer_repetition(conv.name, weights.values))
     return reps

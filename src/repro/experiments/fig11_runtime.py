@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.seeding import stable_rng
 from repro.experiments.common import ucnn_config_for_group, uniform_weight_provider
 from repro.nn.tensor import ConvShape
 from repro.nn.zoo import get_network
@@ -197,7 +198,7 @@ def _measured_point(
     weights = uniform_weight_provider(num_unique, density, tag="fig11")(shape)
     flat = weights.reshape(weights.shape[0], -1).astype(np.int64)
     compiled = compiled_layer_for(weights, group_size=group_size)
-    rng = np.random.default_rng(2018)
+    rng = stable_rng("fig11-engine-windows", shape.name, group_size, density)
     batch = rng.integers(-128, 129, size=(windows, flat.shape[1]))
     if not np.array_equal(execute_program(compiled.program, batch), flat @ batch.T):
         raise RuntimeError("engine/dense parity failure in fig11 measured point")
@@ -237,7 +238,7 @@ def _fused_measured_point(
     layer.engine_group_size = group_size
     network = Network(f"fig11-fused-G{group_size}", small.input_shape, [layer])
     program = compile_network(network, group_size=group_size)
-    rng = np.random.default_rng(2018)
+    rng = stable_rng("fig11-fused-images", small.name, group_size, density)
     images = rng.integers(-128, 129, size=(batch, *small.input_shape.as_tuple()))
 
     def dense() -> np.ndarray:

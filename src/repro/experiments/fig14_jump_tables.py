@@ -31,10 +31,10 @@ from repro.core.activation_groups import canonical_weight_order
 from repro.core.hierarchical import build_filter_group_tables
 from repro.core.jump_encoding import grouped_jump_stats, min_pointer_bits
 from repro.core.model_size import ModelSizeBreakdown, ucnn_model_size, wit_bits_per_entry
+from repro.core.seeding import stable_rng
 from repro.experiments.common import (
     inq_weight_provider,
     network_shapes,
-    stable_seed,
     ucnn_config_for_group,
 )
 from repro.runtime import WorkItem, execute
@@ -112,7 +112,7 @@ def _sampled_jump_profile(
     tiled = wpad.reshape(k, tiles, ct * r * s)
     g = config.group_size
     groups = max(1, k // g)
-    rng = np.random.default_rng(stable_seed("fig14-sample", shape.name, g))
+    rng = stable_rng("fig14-sample", shape.name, g)
     pairs = [(gi, ti) for gi in range(groups) for ti in range(tiles)]
     if len(pairs) > max_tables:
         chosen = rng.choice(len(pairs), size=max_tables, replace=False)

@@ -1,0 +1,95 @@
+"""repro.regress — the golden-result regression harness.
+
+Every figure/table experiment (and the engine's numeric surface) is
+**self-checking**: a canonical result at a pinned fast scale lives under
+``references/`` in the repository, and the harness regenerates and
+structurally diffs it on demand —
+
+* :mod:`repro.regress.store` — the committed reference store
+  (``references/<experiment>.json`` envelopes, schema-versioned);
+* :mod:`repro.regress.diffing` — the structured differ: field-by-field
+  comparison with per-metric tolerance policies (exact for counts /
+  keys / structure, relative-epsilon for derived floats, ignore rules
+  for host-dependent fields) rendering drift reports that name every
+  diverging path;
+* :mod:`repro.regress.specs` — the registry: which experiments are
+  checked, at what pinned scale, under which policy;
+* :mod:`repro.regress.runner` — regenerate-from-scratch (result cache
+  disabled) + check/update orchestration;
+* :mod:`repro.regress.digests` — bit-exact digests of the compiled
+  engine's output (a 1-ulp weight-table perturbation fails the check);
+* :mod:`repro.regress.trend` — the ``BENCH_*.json`` trajectory
+  analyzer: flags any metric >20% worse than its trailing median even
+  while the static floors still pass.
+
+CLI: ``repro regress [--check|--update] [--only fig11,...] [--smoke]``
+and ``repro regress --trend KIND FILES...`` (see ``docs/performance.md``
+for the intended workflow).
+"""
+
+from repro.regress.diffing import (
+    DEFAULT_POLICY,
+    HOST_DEPENDENT_RULES,
+    Divergence,
+    DriftReport,
+    Rule,
+    TolerancePolicy,
+    diff,
+    render_reports,
+)
+from repro.regress.runner import (
+    CheckOutcome,
+    RegressSummary,
+    canonicalize,
+    check_one,
+    regenerate,
+    run_check,
+    run_update,
+    update_one,
+)
+from repro.regress.specs import REGRESS_SPECS, SPECS_BY_ID, RegressSpec, resolve_ids
+from repro.regress.store import SCHEMA_VERSION, ReferenceStore, default_references_dir
+from repro.regress.trend import (
+    DEFAULT_THRESHOLD,
+    TREND_KINDS,
+    Metric,
+    TrendAlert,
+    analyze_trend,
+    extract_metrics,
+    load_payloads,
+    render_alerts,
+)
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "DEFAULT_THRESHOLD",
+    "HOST_DEPENDENT_RULES",
+    "REGRESS_SPECS",
+    "SCHEMA_VERSION",
+    "SPECS_BY_ID",
+    "TREND_KINDS",
+    "CheckOutcome",
+    "Divergence",
+    "DriftReport",
+    "Metric",
+    "ReferenceStore",
+    "RegressSpec",
+    "RegressSummary",
+    "Rule",
+    "TolerancePolicy",
+    "TrendAlert",
+    "analyze_trend",
+    "canonicalize",
+    "check_one",
+    "default_references_dir",
+    "diff",
+    "extract_metrics",
+    "load_payloads",
+    "regenerate",
+    "render_alerts",
+    "render_reports",
+    "resolve_ids",
+    "run_check",
+    "run_update",
+    "update_one",
+]

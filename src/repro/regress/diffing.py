@@ -1,0 +1,304 @@
+"""Structured diffing of JSON-shaped results with per-metric tolerances.
+
+The golden-result harness never compares serialized text: it walks the
+*structure* of two canonical JSON trees (dicts, lists, scalars) in
+lockstep and reports every diverging **path** — ``points[3].density``,
+``networks.lenet[0].zero_mean`` — with the expected and actual values
+and the rule that judged them.  That turns "the file changed" into "this
+experiment's this field drifted by this much", which is the whole point
+of a drift report.
+
+Comparison is governed by a :class:`TolerancePolicy`, a small rule table
+matched against paths:
+
+* ``exact`` — bit-equality (the default for ints, bools, strings, and
+  anything structural: counts, keys, reuse factors, table geometry);
+* ``relative`` / ``absolute`` — epsilon comparisons for float metrics
+  that are deterministic but derived from accumulated float arithmetic
+  (energy totals, geomeans) or — with coarser epsilons — from wall
+  clocks;
+* ``ignore`` — paths that are *expected* to differ across machines and
+  runs (timestamps, hostnames, elapsed wall-clock), skipped entirely.
+
+The relative comparison is symmetric (the denominator is
+``max(|expected|, |actual|)``), so ``diff(a, b)`` and ``diff(b, a)``
+always report the same paths — a property the test suite pins.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+#: Rule kinds a :class:`Rule` may carry.
+RULE_KINDS = ("exact", "relative", "absolute", "ignore")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One tolerance rule: a path pattern and how to compare under it.
+
+    Patterns match whole paths. ``*`` matches any run of characters
+    (crossing ``.`` and ``[i]`` boundaries), so ``*.elapsed_s`` matches
+    the field at any depth and ``points[*].density`` matches any index.
+
+    Attributes:
+        pattern: the path glob this rule applies to.
+        kind: one of :data:`RULE_KINDS`.
+        epsilon: tolerance for ``relative``/``absolute`` kinds.
+    """
+
+    pattern: str
+    kind: str = "exact"
+    epsilon: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Validate the kind/epsilon combination."""
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown rule kind {self.kind!r}; choose from {RULE_KINDS}")
+        if self.kind in ("relative", "absolute") and self.epsilon < 0:
+            raise ValueError(f"negative epsilon {self.epsilon} on {self.pattern!r}")
+
+    def matches(self, path: str) -> bool:
+        """Whether this rule's pattern covers ``path``."""
+        return _pattern_regex(self.pattern).fullmatch(path) is not None
+
+
+def _pattern_regex(pattern: str) -> re.Pattern:
+    """Compile a rule pattern to a regex (memoized)."""
+    cached = _PATTERN_CACHE.get(pattern)
+    if cached is None:
+        parts = [re.escape(p) for p in pattern.split("*")]
+        cached = _PATTERN_CACHE[pattern] = re.compile(".*".join(parts))
+    return cached
+
+
+_PATTERN_CACHE: dict[str, re.Pattern] = {}
+
+
+@dataclass(frozen=True)
+class TolerancePolicy:
+    """An ordered rule table plus defaults for unmatched paths.
+
+    The first rule whose pattern matches a path wins.  Paths no rule
+    matches fall back to ``exact`` for ints/bools/strings/structure and
+    to a relative ``default_float_epsilon`` for floats — float metrics
+    in this codebase are deterministic *given* one platform's libm, and
+    the tiny default absorbs cross-platform last-ulp noise without
+    hiding real drift.
+
+    Attributes:
+        rules: the ordered rule table.
+        default_float_epsilon: relative epsilon applied to float pairs
+            no rule matches (0.0 = exact).
+    """
+
+    rules: tuple[Rule, ...] = ()
+    default_float_epsilon: float = 1e-9
+
+    def rule_for(self, path: str) -> Rule | None:
+        """The first matching rule, or None for default handling."""
+        for rule in self.rules:
+            if rule.matches(path):
+                return rule
+        return None
+
+    def with_rules(self, *rules: Rule) -> "TolerancePolicy":
+        """A copy with ``rules`` prepended (they take precedence)."""
+        return TolerancePolicy(
+            rules=tuple(rules) + self.rules,
+            default_float_epsilon=self.default_float_epsilon,
+        )
+
+
+#: The harness-wide default policy (see :class:`TolerancePolicy`).
+DEFAULT_POLICY = TolerancePolicy()
+
+#: Fields that are machine- or run-local by construction: wall clocks,
+#: throughput, hosts, timestamps.  Bench payload diffs use this.
+HOST_DEPENDENT_RULES = tuple(
+    Rule(pattern, "ignore")
+    for pattern in (
+        "*elapsed_s", "*_ms", "*throughput_rps", "*machine_info*",
+        "*commit_info*", "*datetime*", "*timestamp*", "*hostname*",
+        "*.duration", "*_seconds",
+    )
+)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One diverging path in a structured diff.
+
+    Attributes:
+        path: dotted/indexed path from the root (empty = the root).
+        kind: ``missing`` (expected has it, actual lacks it), ``extra``
+            (actual-only), ``type`` (shapes disagree), or ``value``.
+        expected: the reference-side value (None for ``extra``).
+        actual: the regenerated-side value (None for ``missing``).
+        detail: human-oriented context (which rule fired, how far off).
+    """
+
+    path: str
+    kind: str
+    expected: object = None
+    actual: object = None
+    detail: str = ""
+
+    def render(self) -> str:
+        """One report line for this divergence."""
+        where = self.path or "<root>"
+        if self.kind == "missing":
+            return f"{where}: missing from regenerated result (reference has {self.expected!r})"
+        if self.kind == "extra":
+            return f"{where}: not in reference (regenerated adds {self.actual!r})"
+        tail = f" [{self.detail}]" if self.detail else ""
+        return f"{where}: expected {self.expected!r} != actual {self.actual!r}{tail}"
+
+
+def diff(expected: object, actual: object, policy: TolerancePolicy = DEFAULT_POLICY) -> list[Divergence]:
+    """Structurally compare two canonical JSON trees.
+
+    Args:
+        expected: the committed reference value.
+        actual: the freshly regenerated value.
+        policy: tolerance rules (default: exact + 1e-9 relative floats).
+
+    Returns:
+        every diverging path, in deterministic depth-first order; empty
+        when the trees agree under the policy.
+    """
+    out: list[Divergence] = []
+    _diff_into("", expected, actual, policy, out)
+    return out
+
+
+def _diff_into(
+    path: str, expected: object, actual: object, policy: TolerancePolicy, out: list[Divergence]
+) -> None:
+    rule = policy.rule_for(path)
+    if rule is not None and rule.kind == "ignore":
+        return
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in actual:
+                _note_pruned(sub, policy, out, "missing", expected=expected[key])
+            elif key not in expected:
+                _note_pruned(sub, policy, out, "extra", actual=actual[key])
+            else:
+                _diff_into(sub, expected[key], actual[key], policy, out)
+        return
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            out.append(Divergence(
+                path, "type", len(expected), len(actual),
+                detail=f"length {len(expected)} != {len(actual)}"))
+        for i in range(min(len(expected), len(actual))):
+            _diff_into(f"{path}[{i}]", expected[i], actual[i], policy, out)
+        for i in range(len(actual), len(expected)):
+            _note_pruned(f"{path}[{i}]", policy, out, "missing", expected=expected[i])
+        for i in range(len(expected), len(actual)):
+            _note_pruned(f"{path}[{i}]", policy, out, "extra", actual=actual[i])
+        return
+    _diff_scalar(path, expected, actual, rule, policy, out)
+
+
+def _note_pruned(
+    path: str, policy: TolerancePolicy, out: list[Divergence], kind: str,
+    expected: object = None, actual: object = None,
+) -> None:
+    """Record a one-sided path unless an ignore rule covers it."""
+    rule = policy.rule_for(path)
+    if rule is not None and rule.kind == "ignore":
+        return
+    out.append(Divergence(path, kind, expected=expected, actual=actual))
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _diff_scalar(
+    path: str, expected: object, actual: object, rule: Rule | None,
+    policy: TolerancePolicy, out: list[Divergence],
+) -> None:
+    if _is_number(expected) and _is_number(actual):
+        if rule is None:
+            # Default: exact unless *either* side is a float.
+            if isinstance(expected, float) or isinstance(actual, float):
+                rule = Rule(path, "relative", policy.default_float_epsilon)
+            else:
+                rule = Rule(path, "exact")
+        ok, detail = _numbers_agree(float(expected), float(actual), rule)
+        if not ok:
+            out.append(Divergence(path, "value", expected, actual, detail=detail))
+        return
+    if type(expected) is not type(actual):
+        out.append(Divergence(
+            path, "type", expected, actual,
+            detail=f"{type(expected).__name__} != {type(actual).__name__}"))
+        return
+    if expected != actual:
+        out.append(Divergence(path, "value", expected, actual))
+
+
+def _numbers_agree(expected: float, actual: float, rule: Rule) -> tuple[bool, str]:
+    """Judge a numeric pair under one rule; returns (ok, detail)."""
+    if math.isnan(expected) or math.isnan(actual):
+        # Canonical results should not carry NaN, but a pair of NaNs is
+        # "the same value" for diffing purposes.
+        ok = math.isnan(expected) and math.isnan(actual)
+        return ok, "" if ok else "NaN vs number"
+    if math.isinf(expected) or math.isinf(actual):
+        ok = expected == actual
+        return ok, "" if ok else "infinity mismatch"
+    delta = abs(actual - expected)
+    if rule.kind == "exact":
+        return expected == actual, "" if expected == actual else "exact rule"
+    if rule.kind == "absolute":
+        ok = delta <= rule.epsilon
+        return ok, "" if ok else f"|delta| {delta:.3g} > abs eps {rule.epsilon:.3g}"
+    # relative, symmetric: equal values (incl. both zero) always agree.
+    scale = max(abs(expected), abs(actual))
+    if scale == 0.0 or delta == 0.0:
+        return True, ""
+    rel = delta / scale
+    ok = rel <= rule.epsilon
+    return ok, "" if ok else f"rel diff {rel:.3g} > eps {rule.epsilon:.3g}"
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """A rendered comparison for one experiment.
+
+    Attributes:
+        experiment: the experiment id the divergences belong to.
+        divergences: the diverging paths (empty = clean).
+    """
+
+    experiment: str
+    divergences: tuple[Divergence, ...] = field(default_factory=tuple)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the regenerated result matched its reference."""
+        return not self.divergences
+
+    def render(self, limit: int = 20) -> str:
+        """The human-readable drift block for this experiment."""
+        if self.clean:
+            return f"{self.experiment}: ok"
+        lines = [f"{self.experiment}: DRIFT — {len(self.divergences)} diverging path(s)"]
+        for d in self.divergences[:limit]:
+            lines.append(f"  {d.render()}")
+        if len(self.divergences) > limit:
+            lines.append(f"  ... and {len(self.divergences) - limit} more")
+        return "\n".join(lines)
+
+
+def render_reports(reports: Iterable[DriftReport], limit: int = 20) -> str:
+    """Join per-experiment drift blocks into one report document."""
+    return "\n".join(report.render(limit=limit) for report in reports)

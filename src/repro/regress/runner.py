@@ -1,0 +1,185 @@
+"""Regenerate experiments and diff them against the committed references.
+
+``run_check`` is the harness's main loop: for each selected spec it
+re-runs the experiment **from scratch** — a fresh serial/parallel
+runtime with the result cache disabled, so a stale cache entry can
+never masquerade as "no drift" — canonicalizes the result to the same
+JSON shape the reference was written in, and structurally diffs the
+two under the spec's tolerance policy.
+
+A check can end four ways per experiment, all captured in the
+:class:`CheckOutcome`:
+
+* ``ok`` — regenerated result matches the reference;
+* ``drift`` — it diverged; the outcome carries the
+  :class:`~repro.regress.diffing.DriftReport` naming every path;
+* ``missing`` — no reference committed yet (run ``--update``);
+* ``error`` — the experiment raised; the message is preserved (a
+  parity assertion blowing up *is* a regression signal).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.experiments.common import _to_jsonable
+from repro.regress.diffing import DriftReport, diff
+from repro.regress.specs import RegressSpec
+from repro.regress.store import ReferenceStore
+
+
+def canonicalize(result: object) -> object:
+    """Reduce an experiment result to its canonical JSON value.
+
+    Dataclasses/ndarrays/numpy scalars are lowered via the experiment
+    layer's serializer, then round-tripped through ``json`` so the
+    value compares exactly as it will after being read back from a
+    committed reference file (tuples become lists, dict keys become
+    strings, floats take their shortest-repr form).
+    """
+    return json.loads(json.dumps(_to_jsonable(result), sort_keys=True))
+
+
+def regenerate(spec: RegressSpec, workers: int = 0) -> object:
+    """Re-run one experiment from scratch at its pinned scale.
+
+    The run happens under a private runtime with **no result cache** —
+    honesty first: a check must recompute, never replay.
+
+    Args:
+        spec: the registry entry to run.
+        workers: processes to fan design points across (0 = serial).
+
+    Returns:
+        the canonical JSON value of the fresh result.
+    """
+    from repro.runtime import Runtime, using_runtime
+
+    runtime = Runtime(workers=workers, cache=None)
+    with using_runtime(runtime):
+        result = spec.runner()(**dict(spec.kwargs))
+    return canonicalize(result)
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One experiment's verdict in a check or update pass.
+
+    Attributes:
+        experiment: the experiment id.
+        status: ``ok`` | ``drift`` | ``missing`` | ``error`` |
+            ``updated`` | ``unchanged``.
+        report: the drift report (check passes only).
+        message: human detail for ``missing``/``error``.
+    """
+
+    experiment: str
+    status: str
+    report: DriftReport | None = None
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether this outcome should keep the exit code green."""
+        return self.status in ("ok", "updated", "unchanged")
+
+    def render(self, limit: int = 20) -> str:
+        """One report block for this outcome."""
+        if self.status == "drift" and self.report is not None:
+            return self.report.render(limit=limit)
+        tail = f" ({self.message})" if self.message else ""
+        return f"{self.experiment}: {self.status}{tail}"
+
+
+@dataclass(frozen=True)
+class RegressSummary:
+    """All outcomes of one harness pass.
+
+    Attributes:
+        outcomes: per-experiment verdicts, registry order.
+    """
+
+    outcomes: tuple[CheckOutcome, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every experiment came back clean."""
+        return all(o.ok for o in self.outcomes)
+
+    def counts(self) -> dict[str, int]:
+        """status -> count, for the one-line summary."""
+        out: dict[str, int] = {}
+        for o in self.outcomes:
+            out[o.status] = out.get(o.status, 0) + 1
+        return out
+
+    def render(self, limit: int = 20) -> str:
+        """The full human-readable drift report."""
+        lines = [o.render(limit=limit) for o in self.outcomes]
+        totals = ", ".join(f"{n} {status}" for status, n in sorted(self.counts().items()))
+        lines.append(f"regress: {totals}")
+        return "\n".join(lines)
+
+
+def check_one(spec: RegressSpec, store: ReferenceStore, workers: int = 0) -> CheckOutcome:
+    """Regenerate one experiment and diff it against its reference."""
+    if not store.has(spec.experiment):
+        return CheckOutcome(
+            spec.experiment, "missing",
+            message=f"no reference under {store.root}; run `repro regress --update "
+                    f"--only {spec.experiment}`")
+    try:
+        envelope = store.load(spec.experiment)
+    except ValueError as exc:
+        return CheckOutcome(spec.experiment, "error", message=str(exc))
+    pinned = canonicalize(dict(spec.kwargs))
+    if envelope.get("kwargs") != pinned:
+        return CheckOutcome(
+            spec.experiment, "error",
+            message="pinned kwargs changed since the reference was written — "
+                    "re-run `repro regress --update` intentionally")
+    try:
+        fresh = regenerate(spec, workers=workers)
+    except Exception as exc:  # noqa: BLE001 — an exploding experiment is a finding
+        return CheckOutcome(spec.experiment, "error",
+                            message=f"{type(exc).__name__}: {exc}")
+    divergences = diff(envelope["result"], fresh, spec.policy)
+    report = DriftReport(spec.experiment, tuple(divergences))
+    if report.clean:
+        return CheckOutcome(spec.experiment, "ok", report=report)
+    return CheckOutcome(spec.experiment, "drift", report=report)
+
+
+def update_one(spec: RegressSpec, store: ReferenceStore, workers: int = 0) -> CheckOutcome:
+    """Regenerate one experiment and (re)write its reference."""
+    try:
+        fresh = regenerate(spec, workers=workers)
+    except Exception as exc:  # noqa: BLE001
+        return CheckOutcome(spec.experiment, "error",
+                            message=f"{type(exc).__name__}: {exc}")
+    pinned = canonicalize(dict(spec.kwargs))
+    if store.has(spec.experiment):
+        try:
+            previous = store.load(spec.experiment)
+            if previous.get("result") == fresh and previous.get("kwargs") == pinned:
+                return CheckOutcome(spec.experiment, "unchanged")
+        except ValueError:
+            pass  # malformed file: overwrite it
+    path = store.save(spec.experiment, pinned, fresh)
+    return CheckOutcome(spec.experiment, "updated", message=str(path))
+
+
+def run_check(
+    specs: Sequence[RegressSpec], store: ReferenceStore, workers: int = 0
+) -> RegressSummary:
+    """Check every selected spec; never stops at the first drift."""
+    return RegressSummary(tuple(check_one(s, store, workers=workers) for s in specs))
+
+
+def run_update(
+    specs: Sequence[RegressSpec], store: ReferenceStore, workers: int = 0
+) -> RegressSummary:
+    """Rewrite references for every selected spec."""
+    return RegressSummary(tuple(update_one(s, store, workers=workers) for s in specs))

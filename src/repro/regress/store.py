@@ -1,0 +1,109 @@
+"""The committed reference store: one canonical JSON file per experiment.
+
+``references/`` at the repository root holds the golden results —
+written once per intentional change via ``repro regress --update``,
+then diffed against on every ``--check``.  Each file is fully
+self-describing::
+
+    {
+      "schema_version": 1,
+      "experiment": "fig11",
+      "kwargs": { ... the pinned fast-scale arguments ... },
+      "result": { ... canonical experiment output ... }
+    }
+
+Only machine-independent content goes in: the pinned kwargs and the
+canonical result.  No timestamps, no hostnames, no wall-clock — a
+reference regenerated on any machine under the same code must be
+byte-identical (the seeding contract of :mod:`repro.core.seeding`).
+
+Files are written with sorted keys, two-space indentation, and a
+trailing newline so ``--update`` produces minimal, reviewable git diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Version of the reference-file envelope (bump on layout changes).
+SCHEMA_VERSION = 1
+
+#: Environment override for the store location.
+REFERENCES_DIR_ENV = "REPRO_REFERENCES_DIR"
+
+
+def default_references_dir() -> Path:
+    """The store directory: env override or ``references/`` in the repo.
+
+    The repo root is located relative to this file (three parents up
+    from ``src/repro/regress/``), which holds for both editable and
+    source checkouts — the only layouts references are committed in.
+    """
+    env = os.environ.get(REFERENCES_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / "references"
+
+
+class ReferenceStore:
+    """Load/save canonical reference payloads by experiment id."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        """Open a store rooted at ``root`` (default: the repo's)."""
+        self.root = Path(root) if root is not None else default_references_dir()
+
+    def path_for(self, experiment: str) -> Path:
+        """The reference file for one experiment id."""
+        if not experiment or "/" in experiment or experiment.startswith("."):
+            raise ValueError(f"bad experiment id {experiment!r}")
+        return self.root / f"{experiment}.json"
+
+    def ids(self) -> list[str]:
+        """Experiment ids with a committed reference, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def has(self, experiment: str) -> bool:
+        """Whether a reference exists for the experiment."""
+        return self.path_for(experiment).is_file()
+
+    def load(self, experiment: str) -> dict:
+        """Read and validate one reference envelope.
+
+        Raises:
+            FileNotFoundError: no reference committed for the id.
+            ValueError: the file is not a valid reference envelope.
+        """
+        path = self.path_for(experiment)
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"no reference for {experiment!r} under {self.root} "
+                f"(run `repro regress --update --only {experiment}`)")
+        payload = json.loads(path.read_text())
+        if not isinstance(payload, dict) or "result" not in payload:
+            raise ValueError(f"{path} is not a reference envelope")
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"{path} has schema_version {version!r}, this code expects "
+                f"{SCHEMA_VERSION} — regenerate with `repro regress --update`")
+        if payload.get("experiment") != experiment:
+            raise ValueError(
+                f"{path} claims experiment {payload.get('experiment')!r}")
+        return payload
+
+    def save(self, experiment: str, kwargs: dict, result: object) -> Path:
+        """Write one reference envelope; returns the path written."""
+        path = self.path_for(experiment)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "experiment": experiment,
+            "kwargs": kwargs,
+            "result": result,
+        }
+        path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+        return path

@@ -211,6 +211,49 @@ class TestExecution:
         for sparse in (False, True, "auto"):
             assert np.array_equal(net.forward_batch(x, fused=True, sparse=sparse), ref)
 
+    def test_sparse_trailing_dead_segment_keeps_last_live_entry(self):
+        """A pass whose tail entries are all dead must not lose the last
+        live one.
+
+        When every entry after some segment is dropped by the sparse
+        gather, that segment's compressed end coincides with the stream
+        length; clamping it *below* the stream length (to satisfy
+        reduceat bounds) makes the preceding live segment end one entry
+        early.  This exact shape — stride 2, no padding, 95%-zero
+        activations — produced a shard program with a dead tail and a
+        silently wrong output before the sentinel-row fix.
+        """
+        rng = np.random.default_rng(16)
+        c, size, k = int(rng.integers(1, 5)), int(rng.integers(5, 8)), int(rng.integers(1, 6))
+        padding, stride = int(rng.integers(0, 2)), int(rng.integers(1, 3))
+        assert (c, size, k, padding, stride) == (3, 6, 5, 0, 2)
+        shape = ConvShape(name="c1", w=size, h=size, c=c, k=k, r=3, s=3,
+                          stride=stride, padding=padding)
+        weights = rng.integers(-3, 4, size=shape.weight_shape).astype(np.int64)
+        net = Network("tail", TensorShape(c, size, size), [ConvLayer(shape, weights)])
+        x = rng.integers(-8, 9, size=(1, c, size, size)).astype(np.int64)
+        x[rng.random(x.shape) < 0.95] = 0
+        ref = net.forward_batch(x)
+        program = compile_network(net)
+        for sparse in (True, "auto"):
+            assert np.array_equal(execute_network(program, x, sparse=sparse), ref)
+
+    def test_compressed_segments_dead_tail_offsets(self):
+        """Offsets for dead-tail segments stay at the stream length."""
+        from repro.engine.executor import compressed_segments
+
+        # Full stream of 6 entries, segments [0,2) [2,5) [5,5) [5,6);
+        # keep mask drops entry 4 and everything from 5 on.
+        seg_starts = np.array([0, 2, 5, 5], dtype=np.int64)
+        keep = np.array([1, 1, 1, 1, 0, 0], dtype=np.int64)
+        prefix = np.zeros(7, dtype=np.int64)
+        np.cumsum(keep, out=prefix[1:])
+        starts, empty = compressed_segments(seg_starts, prefix, int(prefix[-1]))
+        # Segment [2,5) must end at 4 (the compressed stream length),
+        # not 3 — reduceat ends segment i at starts[i + 1].
+        assert starts.tolist() == [0, 2, 4, 4]
+        assert empty.tolist() == [False, False, True, True]
+
     def test_all_zero_batch(self, rng):
         net = small_network(rng)
         x = np.zeros((3, *net.input_shape.as_tuple()), dtype=np.int64)

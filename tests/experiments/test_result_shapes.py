@@ -1,0 +1,100 @@
+"""Result-shape invariants every golden-checked experiment must hold.
+
+The regression harness only works if experiment results are (a) fully
+JSON-serializable after ``_to_jsonable`` lowering and (b) byte-for-byte
+deterministic across runs under the pinned seeds.  These tests pin both
+properties at the registry level, plus the seeding helper contract the
+committed references depend on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.seeding import stable_rng, stable_seed
+from repro.experiments.common import _to_jsonable
+from repro.regress import REGRESS_SPECS, SPECS_BY_ID, canonicalize, regenerate
+
+#: Cheap enough to regenerate twice inside tier-1 (fig10 alone costs
+#: ~3 s per run; the nightly full `repro regress --check` covers it).
+FAST_IDS = ("fig03", "fig13", "tab02", "tab03", "abl-depth", "engine-digest")
+
+
+class TestStableSeeding:
+    def test_seed_is_pinned(self):
+        # The committed references were generated from these exact
+        # seeds; changing the hash recipe silently invalidates them.
+        assert stable_seed("uniform", "conv1", 17, 0.9, "fig12") == 6364587448350995834
+        assert stable_seed() == 724655455495936113
+
+    def test_seed_depends_on_every_part(self):
+        base = stable_seed("a", 1, 0.5)
+        assert stable_seed("b", 1, 0.5) != base
+        assert stable_seed("a", 2, 0.5) != base
+        assert stable_seed("a", 1, 0.25) != base
+        assert stable_seed("a", 1) != base
+
+    def test_seed_fits_numpy(self):
+        for parts in (("x",), ("y", 3), tuple()):
+            seed = stable_seed(*parts)
+            assert 0 <= seed < 2**63
+            np.random.default_rng(seed)  # must not raise
+
+    def test_rng_streams_reproduce(self):
+        a = stable_rng("fig03", "lenet", "conv1").integers(0, 100, 8)
+        b = stable_rng("fig03", "lenet", "conv1").integers(0, 100, 8)
+        c = stable_rng("fig03", "lenet", "conv2").integers(0, 100, 8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestJsonLowering:
+    def test_numpy_scalars_and_arrays(self):
+        value = _to_jsonable({"f": np.float32(0.5), "i": np.int32(3),
+                              "b": np.bool_(True), "a": np.array([[1, 2]])})
+        assert json.loads(json.dumps(value)) == {
+            "f": 0.5, "i": 3, "b": True, "a": [[1, 2]]}
+
+    def test_dataclasses_and_tuples(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Point:
+            g: int
+            speedup: float
+
+        value = _to_jsonable({"points": (Point(1, 1.0), Point(2, 1.8))})
+        assert value == {"points": [{"g": 1, "speedup": 1.0},
+                                    {"g": 2, "speedup": 1.8}]}
+
+
+class TestRegistryResultShapes:
+    @pytest.mark.parametrize("experiment", [s.experiment for s in REGRESS_SPECS])
+    def test_every_spec_is_registered_consistently(self, experiment):
+        spec = SPECS_BY_ID[experiment]
+        assert spec.runner().__name__ == "run"
+        assert canonicalize(dict(spec.kwargs)) == json.loads(
+            json.dumps(dict(spec.kwargs), sort_keys=True, default=list))
+
+    @pytest.mark.parametrize("experiment", FAST_IDS)
+    def test_result_is_json_serializable(self, experiment):
+        result = regenerate(SPECS_BY_ID[experiment])
+        text = json.dumps(result, sort_keys=True)  # must not raise
+        assert json.loads(text) == result
+        assert canonicalize(result) == result  # canonical form is a fixed point
+
+    @pytest.mark.parametrize("experiment", ("fig03", "tab02", "engine-digest"))
+    def test_result_is_deterministic_across_runs(self, experiment):
+        spec = SPECS_BY_ID[experiment]
+        first = json.dumps(regenerate(spec), sort_keys=True)
+        second = json.dumps(regenerate(spec), sort_keys=True)
+        assert first == second
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "experiment",
+        [s.experiment for s in REGRESS_SPECS if s.experiment not in FAST_IDS])
+    def test_remaining_specs_serialize_and_canonicalize(self, experiment):
+        result = regenerate(SPECS_BY_ID[experiment])
+        assert canonicalize(result) == result

@@ -1,0 +1,107 @@
+"""Property tests for the structured differ.
+
+Three contracts the harness leans on, pinned over randomized JSON trees:
+
+* reflexivity — ``diff(x, x)`` is empty for every canonical tree, so a
+  clean regeneration can never produce a phantom drift report;
+* path symmetry — ``diff(a, b)`` and ``diff(b, a)`` name exactly the
+  same diverging paths (the relative comparison uses the symmetric
+  ``max(|e|, |a|)`` denominator, and missing/extra swap kinds but not
+  locations), so a drift report does not depend on which side was
+  committed;
+* epsilon boundary — a numeric pair passes a relative rule exactly when
+  the symmetric relative difference is ``<= epsilon``, with divergence
+  returning the moment epsilon drops below it.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regress.diffing import Rule, TolerancePolicy, diff
+
+# Canonical JSON scalars: what survives the json round-trip in
+# runner.canonicalize (no NaN/inf — references never carry them).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+)
+
+_json_trees = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=25,
+)
+
+_loose_policy = TolerancePolicy(rules=(Rule("*", "relative", 0.05),))
+
+
+@settings(max_examples=150, deadline=None)
+@given(_json_trees)
+def test_diff_of_tree_with_itself_is_empty(tree):
+    assert diff(tree, tree) == []
+
+
+@settings(max_examples=150, deadline=None)
+@given(_json_trees)
+def test_diff_of_tree_with_itself_is_empty_under_any_policy(tree):
+    assert diff(tree, tree, _loose_policy) == []
+
+
+@settings(max_examples=150, deadline=None)
+@given(_json_trees, _json_trees)
+def test_diff_reports_symmetric_paths(a, b):
+    forward = {d.path for d in diff(a, b)}
+    backward = {d.path for d in diff(b, a)}
+    assert forward == backward
+
+
+@settings(max_examples=150, deadline=None)
+@given(_json_trees, _json_trees)
+def test_diff_paths_symmetric_under_relative_policy(a, b):
+    forward = {d.path for d in diff(a, b, _loose_policy)}
+    backward = {d.path for d in diff(b, a, _loose_policy)}
+    assert forward == backward
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+def test_relative_epsilon_boundary_is_exact(expected, actual):
+    """Divergence flips exactly at the symmetric relative difference."""
+    delta = abs(actual - expected)
+    scale = max(abs(expected), abs(actual))
+    if delta == 0.0 or scale == 0.0 or math.isinf(delta) or math.isinf(scale):
+        return  # equal values pass at every epsilon; nothing to bracket
+    rel = delta / scale
+    at = TolerancePolicy(rules=(Rule("v", "relative", rel),))
+    assert diff({"v": expected}, {"v": actual}, at) == []
+    below = TolerancePolicy(rules=(Rule("v", "relative", math.nextafter(rel, 0.0)),))
+    assert diff({"v": expected}, {"v": actual}, below) != []
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_relative_epsilon_is_monotone(expected, actual, eps_a, eps_b):
+    """Passing at some epsilon implies passing at every larger one."""
+    lo, hi = sorted((eps_a, eps_b))
+    at_lo = diff({"v": expected}, {"v": actual},
+                 TolerancePolicy(rules=(Rule("v", "relative", lo),)))
+    at_hi = diff({"v": expected}, {"v": actual},
+                 TolerancePolicy(rules=(Rule("v", "relative", hi),)))
+    if at_lo == []:
+        assert at_hi == []

@@ -1,0 +1,193 @@
+"""Unit tests for the structured differ and its tolerance policies."""
+
+import math
+
+import pytest
+
+from repro.regress.diffing import (
+    DEFAULT_POLICY,
+    HOST_DEPENDENT_RULES,
+    DriftReport,
+    Rule,
+    TolerancePolicy,
+    diff,
+    render_reports,
+)
+
+
+class TestRule:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule kind"):
+            Rule("a.b", "fuzzy")
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="negative epsilon"):
+            Rule("a.b", "relative", -0.1)
+
+    def test_star_crosses_boundaries(self):
+        rule = Rule("*elapsed_s", "ignore")
+        assert rule.matches("elapsed_s")
+        assert rule.matches("cold.elapsed_s")
+        assert rule.matches("passes[3].deep.elapsed_s")
+        assert not rule.matches("elapsed_s_total")
+
+    def test_star_matches_indices(self):
+        rule = Rule("points[*].density", "relative", 0.1)
+        assert rule.matches("points[0].density")
+        assert rule.matches("points[17].density")
+        assert not rule.matches("points[0].width")
+
+    def test_fullmatch_not_prefix(self):
+        assert not Rule("a.b").matches("a.b.c")
+
+
+class TestPolicy:
+    def test_first_match_wins(self):
+        policy = TolerancePolicy(rules=(
+            Rule("x", "relative", 0.5),
+            Rule("*", "exact"),
+        ))
+        assert policy.rule_for("x").kind == "relative"
+        assert policy.rule_for("y").kind == "exact"
+
+    def test_with_rules_prepends(self):
+        base = TolerancePolicy(rules=(Rule("*", "exact"),))
+        override = base.with_rules(Rule("x", "ignore"))
+        assert override.rule_for("x").kind == "ignore"
+        assert base.rule_for("x").kind == "exact"
+
+    def test_no_match_is_none(self):
+        assert TolerancePolicy().rule_for("anything") is None
+
+
+class TestDiffStructure:
+    def test_identical_trees_clean(self):
+        tree = {"a": [1, 2.5, {"b": "s", "c": None, "d": True}], "e": {}}
+        assert diff(tree, tree) == []
+
+    def test_missing_key(self):
+        (d,) = diff({"a": 1, "b": 2}, {"a": 1})
+        assert d.path == "b" and d.kind == "missing" and d.expected == 2
+        assert "missing from regenerated" in d.render()
+
+    def test_extra_key(self):
+        (d,) = diff({"a": 1}, {"a": 1, "b": 2})
+        assert d.path == "b" and d.kind == "extra" and d.actual == 2
+        assert "not in reference" in d.render()
+
+    def test_nested_path_names_full_location(self):
+        divs = diff({"rows": [{"u": 3}]}, {"rows": [{"u": 4}]})
+        assert [d.path for d in divs] == ["rows[0].u"]
+
+    def test_list_length_mismatch_reports_type_and_tail(self):
+        divs = diff({"xs": [1, 2, 3]}, {"xs": [1]})
+        kinds = {(d.path, d.kind) for d in divs}
+        assert ("xs", "type") in kinds
+        assert ("xs[1]", "missing") in kinds and ("xs[2]", "missing") in kinds
+
+    def test_shape_mismatch_is_type_divergence(self):
+        (d,) = diff({"a": [1]}, {"a": {"0": 1}})
+        assert d.kind == "type" and d.path == "a"
+
+    def test_bool_never_compares_as_number(self):
+        (d,) = diff({"flag": True}, {"flag": 1})
+        assert d.kind == "type"
+
+    def test_string_mismatch(self):
+        (d,) = diff("deadbeef", "cafebabe")
+        assert d.path == "" and d.kind == "value"
+        assert "<root>" in d.render()
+
+
+class TestDiffNumbers:
+    def test_ints_default_exact(self):
+        assert diff({"n": 7}, {"n": 7}) == []
+        (d,) = diff({"n": 7}, {"n": 8})
+        assert d.kind == "value" and d.detail == "exact rule"
+
+    def test_floats_default_tiny_relative(self):
+        # 1e-9 default relative epsilon absorbs last-ulp noise only.
+        assert diff({"x": 1.0}, {"x": 1.0 + 1e-12}) == []
+        assert diff({"x": 1.0}, {"x": 1.0 + 1e-6}) != []
+
+    def test_int_float_pair_judged_as_float(self):
+        assert diff({"x": 1}, {"x": 1.0}) == []
+
+    def test_relative_epsilon_boundary(self):
+        policy = TolerancePolicy(rules=(Rule("v", "relative", 0.1),))
+        # Symmetric denominator: |110-100| / max(100, 110) ~= 0.0909.
+        assert diff({"v": 100.0}, {"v": 110.0}, policy) == []
+        assert diff({"v": 100.0}, {"v": 112.0}, policy) != []
+
+    def test_relative_exact_at_epsilon_passes(self):
+        policy = TolerancePolicy(rules=(Rule("v", "relative", 0.25),))
+        assert diff({"v": 4.0}, {"v": 3.0}, policy) == []  # rel == 0.25
+
+    def test_absolute_rule(self):
+        policy = TolerancePolicy(rules=(Rule("v", "absolute", 0.5),))
+        assert diff({"v": 10.0}, {"v": 10.4}, policy) == []
+        (d,) = diff({"v": 10.0}, {"v": 11.0}, policy)
+        assert "abs eps" in d.detail
+
+    def test_both_zero_agree_under_relative(self):
+        policy = TolerancePolicy(rules=(Rule("v", "relative", 0.0),))
+        assert diff({"v": 0.0}, {"v": 0.0}, policy) == []
+        assert diff({"v": 0.0}, {"v": -0.0}, policy) == []
+
+    def test_nan_pair_agrees_nan_number_diverges(self):
+        assert diff({"x": math.nan}, {"x": math.nan}) == []
+        (d,) = diff({"x": math.nan}, {"x": 1.0})
+        assert d.detail == "NaN vs number"
+
+    def test_infinity(self):
+        assert diff({"x": math.inf}, {"x": math.inf}) == []
+        (d,) = diff({"x": math.inf}, {"x": 1e308})
+        assert d.detail == "infinity mismatch"
+
+
+class TestIgnoreRules:
+    def test_ignored_value_divergence(self):
+        policy = TolerancePolicy(rules=(Rule("*elapsed_s", "ignore"),))
+        assert diff({"elapsed_s": 1.0, "n": 3},
+                    {"elapsed_s": 9.0, "n": 3}, policy) == []
+
+    def test_ignored_one_sided_paths(self):
+        policy = TolerancePolicy(rules=(Rule("*hostname*", "ignore"),))
+        assert diff({"hostname": "a"}, {}, policy) == []
+        assert diff({}, {"hostname": "b"}, policy) == []
+
+    def test_ignore_covers_subtrees(self):
+        policy = TolerancePolicy(rules=(Rule("*machine_info*", "ignore"),))
+        assert diff({"machine_info": {"cpu": "x"}},
+                    {"machine_info": {"cpu": "y", "os": "z"}}, policy) == []
+
+    def test_host_dependent_rules_cover_bench_fields(self):
+        policy = DEFAULT_POLICY.with_rules(*HOST_DEPENDENT_RULES)
+        ref = {"p99_ms": 1.2, "throughput_rps": 900.0, "shed": 0, "datetime": "x"}
+        new = {"p99_ms": 5.0, "throughput_rps": 100.0, "shed": 0, "datetime": "y"}
+        assert diff(ref, new, policy) == []
+        # But structural fields under the same policy still gate.
+        assert diff(ref, {**new, "shed": 3}, policy) != []
+
+
+class TestReportRendering:
+    def test_clean_report(self):
+        report = DriftReport("fig11")
+        assert report.clean
+        assert report.render() == "fig11: ok"
+
+    def test_drift_report_names_experiment_and_paths(self):
+        divs = tuple(diff({"a": 1}, {"a": 2}))
+        report = DriftReport("fig11", divs)
+        text = report.render()
+        assert "fig11: DRIFT" in text and "a: expected 1 != actual 2" in text
+
+    def test_render_limit_truncates(self):
+        divs = tuple(diff({str(i): i for i in range(30)},
+                          {str(i): i + 1 for i in range(30)}))
+        text = DriftReport("x", divs).render(limit=5)
+        assert "... and 25 more" in text
+
+    def test_render_reports_joins(self):
+        text = render_reports([DriftReport("a"), DriftReport("b")])
+        assert text == "a: ok\nb: ok"

@@ -1,0 +1,167 @@
+"""Tests for the bench trend analyzer.
+
+The acceptance scenario lives here: a fabricated ``BENCH_kernels.json``
+trajectory whose newest run is 25% slower than the trailing median must
+trip the trend gate even though the implied speedup still clears the
+static 20x floor the nightly bench asserts.
+"""
+
+import json
+
+import pytest
+
+from repro.regress.trend import (
+    Metric,
+    TrendAlert,
+    analyze_trend,
+    extract_metrics,
+    load_payloads,
+    render_alerts,
+)
+
+#: Mirrors ENGINE_MIN_SPEEDUP in benchmarks/bench_kernels.py — the
+#: static floor the trend gate must out-detect.
+ENGINE_STATIC_FLOOR = 20.0
+
+
+def kernels_payload(mean_s: float, name: str = "test_bench_engine") -> dict:
+    """A minimal pytest-benchmark-shaped BENCH_kernels.json payload."""
+    return {
+        "machine_info": {"node": "ci-host"},
+        "benchmarks": [{"name": name, "stats": {"mean": mean_s, "rounds": 1}}],
+    }
+
+
+def serve_payload(p99_ms: float, shed: int = 0, warm_speedup: float = 8.0) -> dict:
+    """An enveloped serve payload like cli bench-serve --json writes."""
+    return {
+        "schema_version": 1,
+        "kind": "serve",
+        "smoke": True,
+        "data": {
+            "warm": {"requests": 100, "shed": shed, "p50_ms": p99_ms / 2,
+                     "p99_ms": p99_ms, "throughput_rps": 1000.0},
+            "warm_speedup": warm_speedup,
+        },
+    }
+
+
+class TestExtractMetrics:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench kind"):
+            extract_metrics("gpu", {})
+
+    def test_kernels_reads_pytest_benchmark_means(self):
+        (m,) = extract_metrics("kernels", kernels_payload(1.5e-3))
+        assert m == Metric("kernels.test_bench_engine.mean_s", 1.5e-3, "lower")
+
+    def test_serve_unwraps_envelope_and_gates_p99_and_shed(self):
+        metrics = {m.name: m for m in extract_metrics("serve", serve_payload(2.0, shed=5))}
+        assert metrics["serve.warm.p99_ms"].value == 2.0
+        assert metrics["serve.warm.p99_ms"].better == "lower"
+        assert metrics["serve.warm.shed_rate"].value == pytest.approx(0.05)
+        assert metrics["serve.warm.shed_rate"].better == "lower"
+        assert metrics["serve.warm_speedup"].better == "higher"
+
+    def test_tiers_derives_speedup_vs_cold(self):
+        payload = {"cold": {"elapsed_s": 10.0}, "local_warm": {"elapsed_s": 2.0}}
+        metrics = {m.name: m.value for m in extract_metrics("tiers", payload)}
+        assert metrics["tiers.local_warm.speedup_vs_cold"] == pytest.approx(5.0)
+
+    def test_cluster_reads_per_pass_stats(self):
+        payload = {"steady": {"stats": {"requests": 40, "shed": 0, "p99_ms": 3.0,
+                                        "throughput_rps": 500.0}}}
+        names = {m.name for m in extract_metrics("cluster", payload)}
+        assert "cluster.steady.p99_ms" in names
+        assert "cluster.steady.shed_rate" in names
+
+
+class TestAnalyzeTrend:
+    def test_25pct_kernel_slowdown_flagged_while_static_floor_passes(self):
+        """The acceptance scenario: trajectory decay the floor misses."""
+        numpy_baseline_s = 65e-3  # dense baseline the speedup is quoted against
+        history = [kernels_payload(1.00e-3) for _ in range(5)]
+        history.append(kernels_payload(1.25e-3))  # 25% slower than the median
+
+        # The static floor would NOT catch this: 65ms / 1.25ms = 52x >= 20x.
+        implied_speedup = numpy_baseline_s / 1.25e-3
+        assert implied_speedup >= ENGINE_STATIC_FLOOR
+
+        (alert,) = analyze_trend("kernels", history)
+        assert alert.metric == "kernels.test_bench_engine.mean_s"
+        assert alert.change == pytest.approx(0.25)
+        assert alert.baseline == pytest.approx(1.00e-3)
+        assert "25% worse" in alert.render()
+
+    def test_within_threshold_is_quiet(self):
+        history = [kernels_payload(1.00e-3) for _ in range(5)]
+        history.append(kernels_payload(1.15e-3))  # 15% < default 20%
+        assert analyze_trend("kernels", history) == []
+
+    def test_improvement_is_quiet(self):
+        history = [kernels_payload(1.00e-3) for _ in range(5)]
+        history.append(kernels_payload(0.40e-3))
+        assert analyze_trend("kernels", history) == []
+
+    def test_needs_min_history(self):
+        history = [kernels_payload(1.0e-3), kernels_payload(2.0e-3)]
+        assert analyze_trend("kernels", history) == []  # one prior run only
+
+    def test_median_shrugs_off_one_noisy_night(self):
+        history = [kernels_payload(v) for v in
+                   (1.0e-3, 1.0e-3, 5.0e-3, 1.0e-3, 1.0e-3)]
+        history.append(kernels_payload(1.1e-3))
+        assert analyze_trend("kernels", history) == []
+
+    def test_window_drops_ancient_history(self):
+        # Old fast runs outside the window must not drag the median down.
+        history = [kernels_payload(0.5e-3)] * 10 + [kernels_payload(1.0e-3)] * 7
+        history.append(kernels_payload(1.1e-3))
+        assert analyze_trend("kernels", history, window=7) == []
+
+    def test_serve_p99_regression_is_first_class(self):
+        history = [serve_payload(2.0) for _ in range(4)]
+        history.append(serve_payload(3.0))  # p99 rose 50%
+        alerts = {a.metric for a in analyze_trend("serve", history)}
+        assert "serve.warm.p99_ms" in alerts
+
+    def test_shed_rate_regression_from_zero_baseline(self):
+        history = [serve_payload(2.0, shed=0) for _ in range(4)]
+        history.append(serve_payload(2.0, shed=10))
+        (alert,) = analyze_trend("serve", history)
+        assert alert.metric == "serve.warm.shed_rate"
+        assert alert.change == 1.0
+
+    def test_higher_is_better_direction(self):
+        history = [serve_payload(2.0, warm_speedup=8.0) for _ in range(4)]
+        history.append(serve_payload(2.0, warm_speedup=5.0))  # fell 37.5%
+        alerts = {a.metric: a for a in analyze_trend("serve", history)}
+        assert alerts["serve.warm_speedup"].change == pytest.approx(0.375)
+        assert "fell" in alerts["serve.warm_speedup"].render()
+
+    def test_new_metric_without_history_is_quiet(self):
+        history = [kernels_payload(1.0e-3) for _ in range(4)]
+        history.append(kernels_payload(9.0e-3, name="brand_new_bench"))
+        assert analyze_trend("kernels", history) == []
+
+    def test_custom_threshold(self):
+        history = [kernels_payload(1.00e-3) for _ in range(5)]
+        history.append(kernels_payload(1.15e-3))
+        assert analyze_trend("kernels", history, threshold=0.10) != []
+
+
+class TestIO:
+    def test_load_payloads_preserves_order(self, tmp_path):
+        paths = []
+        for i, mean in enumerate((1.0e-3, 1.1e-3)):
+            p = tmp_path / f"run{i}.json"
+            p.write_text(json.dumps(kernels_payload(mean)))
+            paths.append(p)
+        loaded = load_payloads(paths)
+        assert [b["benchmarks"][0]["stats"]["mean"] for b in loaded] == [1.0e-3, 1.1e-3]
+
+    def test_render_alerts(self):
+        assert render_alerts("kernels", []) == "trend[kernels]: ok"
+        alert = TrendAlert("kernels.x.mean_s", 1.25e-3, 1.0e-3, 0.25, "lower")
+        text = render_alerts("kernels", [alert])
+        assert "1 regression(s)" in text and "kernels.x.mean_s" in text

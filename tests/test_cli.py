@@ -240,6 +240,9 @@ class TestServe:
 
         with open(json_path) as fh:
             payload = json.load(fh)
-        assert payload["parity"]["mismatches"] == 0
-        assert payload["warm"]["hit_rate"] == 1.0
-        assert payload["warm_speedup"] > 0
+        assert payload["schema_version"] == 1
+        assert payload["kind"] == "serve" and payload["smoke"] is True
+        data = payload["data"]
+        assert data["parity"]["mismatches"] == 0
+        assert data["warm"]["hit_rate"] == 1.0
+        assert data["warm_speedup"] > 0
