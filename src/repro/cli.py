@@ -13,11 +13,17 @@ Commands:
 * ``cache`` — inspect or clear the design-point result cache (info
   includes a per-experiment breakdown and supports LRU eviction via
   ``--budget-mb``); ``push``/``pull`` bulk-seed a cache peer;
+* ``programs`` — inspect or peer-sync the compiled-program artifact
+  store (``repro.engine.artifacts``): ``info``/``list`` show stored
+  artifacts and cache ratios, ``push``/``pull`` move serialized engine
+  programs through a cache peer so one node compiles and the fleet
+  warm-starts;
 * ``cache-peer`` — run an HTTP cache peer other machines point
   ``--remote-cache`` at (LRU byte budget via ``--max-bytes``);
 * ``serve`` — run the async batched serving layer (``repro.serve``)
-  until interrupted; also accepts ``--remote-cache URL`` and
-  ``--secret`` (HMAC-authenticated requests only);
+  until interrupted; also accepts ``--remote-cache URL``, ``--secret``
+  (HMAC-authenticated requests only), and ``--prewarm-programs``
+  (pull the fleet's compiled programs before taking traffic);
 * ``frontend`` — run a fabric front-end (``repro.fabric``): workers
   join it, clients get hash-ring routing + admission control;
 * ``worker`` — run a serve process that joins a front-end
@@ -45,6 +51,8 @@ Examples::
     python -m repro.cli sweep --experiment fig11 --remote-cache http://peer:8601
     python -m repro.cli cache push http://peer:8601
     python -m repro.cli cache info
+    python -m repro.cli programs push http://peer:8601
+    python -m repro.cli worker --join 127.0.0.1:8640 --remote-cache http://peer:8601 --prewarm-programs
     python -m repro.cli serve --workers 4 --port 8537
     python -m repro.cli frontend --port 8640 --max-inflight 64
     python -m repro.cli worker --join 127.0.0.1:8640 --workers 2
@@ -289,10 +297,10 @@ def cmd_cache(args: argparse.Namespace) -> int:
         if not args.url:
             raise SystemExit(f"cache {args.action} requires a peer URL "
                              f"(e.g. repro cache {args.action} http://peer:8601)")
-        # Breaker disabled for bulk sync: a mid-sync blip should fail
-        # (and count) each key honestly, not silently skip the next 5s
-        # worth of keys.  Dead peers are caught by the probe below.
-        tier = HTTPPeerTier(args.url, timeout=10.0, failure_threshold=1 << 30)
+        # Bulk profile: breaker disabled so a mid-sync blip fails (and
+        # counts) each key honestly instead of silently skipping the
+        # next 5s worth.  Dead peers are caught by the probe below.
+        tier = HTTPPeerTier.for_bulk(args.url)
         # Probe up front: the tier protocol itself never raises, so
         # without this a dead peer would read as "N failed" rather
         # than the actual problem.
@@ -334,6 +342,68 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(format_table(
             ("experiment", "entries", "KiB"),
             [(g.fn, g.entries, f"{g.bytes / 1024:.1f}") for g in groups]))
+    return 0
+
+
+def cmd_programs(args: argparse.Namespace) -> int:
+    """Inspect or peer-sync the compiled-program artifact store.
+
+    ``info`` prints store totals (artifact count/bytes, the live engine
+    fingerprint, how many stored artifacts are stale against it) plus
+    this process's program-cache counters.  ``list`` prints one row per
+    artifact in the manifest.  ``push``/``pull`` bulk-sync artifacts
+    with a cache peer — the same wire surface ``repro cache push/pull``
+    uses, so one peer federates results and programs alike.
+    """
+    from repro.engine.artifacts import ProgramStore, engine_fingerprint
+    from repro.engine.program import program_cache_info
+    from repro.runtime import HTTPPeerTier
+
+    if args.action in ("push", "pull"):
+        if not args.url:
+            raise SystemExit(f"programs {args.action} requires a peer URL "
+                             f"(e.g. repro programs {args.action} http://peer:8601)")
+        tier = HTTPPeerTier.for_bulk(args.url)
+        if tier.peer_stats() is None:
+            raise SystemExit(f"cache peer {args.url} unreachable")
+        store = ProgramStore(root=args.cache_dir, remote=tier)
+        try:
+            report = store.push() if args.action == "push" else store.pull()
+        except ConnectionError as exc:
+            raise SystemExit(str(exc)) from exc
+        direction = "to" if args.action == "push" else "from"
+        print(f"programs {args.action} {direction} {args.url}: {report.summary()}")
+        return 1 if report.failed else 0
+    if args.url:
+        raise SystemExit(f"programs {args.action} does not take a peer URL "
+                         f"(did you mean push or pull?)")
+    store = ProgramStore(root=args.cache_dir)
+    if args.action == "list":
+        manifest = store.manifest()
+        if not manifest:
+            print(f"no program artifacts in {store.cache.root}")
+            return 0
+        fp = engine_fingerprint()
+        print(format_table(
+            ("program key", "kind", "KiB", "engine"),
+            [(key, entry.get("kind", "?"),
+              f"{entry.get('bytes', 0) / 1024:.1f}",
+              "fresh" if entry.get("engine") == fp else "STALE")
+             for key, entry in sorted(manifest.items())]))
+        return 0
+    stats = store.stats()
+    info = program_cache_info()
+    rows = [
+        ("directory", stats["root"]),
+        ("program artifacts", stats["programs"]),
+        ("artifact bytes", f"{stats['bytes'] / 1024:.1f} KiB"),
+        ("engine fingerprint", stats["engine_fingerprint"]),
+        ("stale artifacts", stats["stale"]),
+        ("process cache entries", info["entries"]),
+        ("process hits / misses", f"{info['hits']} / {info['misses']}"),
+        ("process artifact hits", info["artifact_hits"]),
+    ]
+    print(format_table(("field", "value"), rows))
     return 0
 
 
@@ -386,6 +456,7 @@ def _serve_config_from(args: argparse.Namespace) -> "object":
                          if args.cache_budget_mb is not None else None),
         remote_cache=args.remote_cache,
         auth_secret=args.secret or default_secret(),
+        prewarm_programs=args.prewarm_programs,
     )
 
 
@@ -743,6 +814,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="byte budget for 'evict' (LRU sweep down to this size)")
     cache.set_defaults(func=cmd_cache)
 
+    programs = sub.add_parser(
+        "programs",
+        help="inspect or peer-sync the compiled-program artifact store")
+    programs.add_argument("action", choices=("info", "list", "push", "pull"))
+    programs.add_argument("url", nargs="?", default=None,
+                          help="cache-peer URL (required for push/pull)")
+    programs.add_argument("--cache-dir", default=None,
+                          help="artifact directory (default: $REPRO_CACHE_DIR "
+                               "or ~/.cache/repro-ucnn, shared with the result cache)")
+    programs.set_defaults(func=cmd_programs)
+
     peer = sub.add_parser(
         "cache-peer", help="run an HTTP cache peer for cross-machine result sharing")
     peer.add_argument("--host", default="127.0.0.1",
@@ -781,6 +863,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU byte budget; long-lived servers should set this")
         p.add_argument("--remote-cache", default=None, metavar="URL",
                        help="cache-peer URL to tier behind the local cache")
+        p.add_argument("--prewarm-programs", action="store_true",
+                       help="before taking traffic, pull the fleet's compiled "
+                            "engine programs (from --remote-cache or the local "
+                            "artifact dir) and seed the program cache")
         p.add_argument("--secret", default=None,
                        help="shared HMAC secret; requests must be signed "
                             "(default: $REPRO_FABRIC_SECRET)")
@@ -865,7 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
     regress.add_argument("--report", default=None, metavar="FILE",
                          help="also write the drift report to this file")
     regress.add_argument("--trend", default=None, metavar="KIND",
-                         choices=("kernels", "serve", "tiers", "cluster"),
+                         choices=("kernels", "serve", "tiers", "cluster", "programs"),
                          help="analyze a BENCH_*.json trajectory instead of "
                               "checking references")
     regress.add_argument("bench_files", nargs="*", metavar="BENCH_JSON",

@@ -29,7 +29,13 @@ Typical use::
 Programs are memoized in a process-wide cache — per-layer programs
 under ``layer:...``/``tables:...`` keys, fused networks under
 ``net:...`` keys (schemas in ``docs/api.md``) — so sweeps and serve
-workers never re-lower weights they have seen.
+workers never re-lower weights they have seen.  The cache is
+single-flighted (concurrent misses compile once; everyone gets the
+winner's object) and can be backed by a durable artifact store
+(:mod:`repro.engine.artifacts`: serialize programs, push/pull them
+through the cache peer, warm-start fresh nodes with zero compiles).
+:mod:`repro.engine.artifacts` is imported on demand — it pulls in the
+runtime storage layer, which plain engine users don't need.
 """
 
 from repro.engine.executor import execute_program
@@ -43,12 +49,16 @@ from repro.engine.program import (
     CompiledLayer,
     SegmentPass,
     TableProgram,
+    cached_programs,
     clear_program_cache,
     compile_layer,
     compile_tables,
     compiled_layer_for,
+    get_artifact_tier,
     layer_program_key,
     program_cache_info,
+    seed_program_cache,
+    set_artifact_tier,
     table_program_for,
     table_program_key,
     weights_fingerprint,
@@ -59,6 +69,7 @@ __all__ = [
     "NetworkProgram",
     "SegmentPass",
     "TableProgram",
+    "cached_programs",
     "clear_program_cache",
     "compile_layer",
     "compile_network",
@@ -66,9 +77,12 @@ __all__ = [
     "compiled_layer_for",
     "execute_network",
     "execute_program",
+    "get_artifact_tier",
     "layer_program_key",
     "network_program_key",
     "program_cache_info",
+    "seed_program_cache",
+    "set_artifact_tier",
     "table_program_for",
     "table_program_key",
     "weights_fingerprint",

@@ -532,7 +532,12 @@ def compile_network(
 
     Returns:
         the memoized :class:`NetworkProgram`; repeated calls with
-        identical weights and parameters return the same object.
+        identical weights and parameters return the same object — the
+        memo is single-flighted, so concurrent first calls compile once
+        and all receive the winner's program.  When an artifact tier is
+        installed (``repro.engine.artifacts``), a miss first tries a
+        stored artifact before lowering, and a fresh lowering is
+        written back for the fleet.
 
     Raises:
         ValueError: on float weights (same message as

@@ -279,6 +279,28 @@ _CACHE_LOCK = threading.RLock()
 _MAX_CACHED_PROGRAMS = 128
 _HITS = 0
 _MISSES = 0
+_ARTIFACT_HITS = 0
+
+#: Read-through artifact tier (see ``repro.engine.artifacts``): an
+#: object with ``fetch(key) -> program | None`` and ``offer(key,
+#: program) -> None``.  Consulted by the single-flight owner before
+#: compiling; offered every fresh build for background persistence.
+#: ``None`` (the default) keeps the cache purely in-process.
+_ARTIFACT_TIER = None
+
+
+class _InFlight:
+    """One in-progress build: waiters block on ``event``, owner fills it."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: object | None = None
+        self.error: BaseException | None = None
+
+
+_INFLIGHT: dict[str, _InFlight] = {}
 
 
 def _fingerprint(*arrays: np.ndarray) -> str:
@@ -315,23 +337,77 @@ def table_program_key(tables: FilterGroupTables) -> str:
     return f"tables:m{tables.max_group_size}:{_fingerprint(tables.filters, tables.canonical)}"
 
 
+def _insert_locked(key: str, value: object) -> None:
+    """Insert ``value`` under ``key`` and trim the LRU (lock held)."""
+    _CACHE[key] = value
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _MAX_CACHED_PROGRAMS:
+        _CACHE.popitem(last=False)
+
+
 def _cached(key: str, build: Callable[[], object]) -> object:
-    """Memoize ``build()`` under ``key`` in the process-wide LRU cache."""
-    global _HITS, _MISSES
-    with _CACHE_LOCK:
-        hit = _CACHE.get(key)
-        if hit is not None:
-            _CACHE.move_to_end(key)
-            _HITS += 1
-            return hit
-        _MISSES += 1
-    value = build()  # built outside the lock; duplicate builds are benign
-    with _CACHE_LOCK:
-        _CACHE[key] = value
-        _CACHE.move_to_end(key)
-        while len(_CACHE) > _MAX_CACHED_PROGRAMS:
-            _CACHE.popitem(last=False)
-    return value
+    """Memoize ``build()`` under ``key``, single-flighted per key.
+
+    Concurrent misses on the same key used to race past the lock and
+    compile N times, handing different (if equivalent) objects to
+    different callers — violating the ``compiled_layer_for`` contract
+    that identical inputs return *the same object*.  Now exactly one
+    caller (the owner) builds; the others wait on a per-key in-flight
+    event and receive the owner's object, counted as hits.  ``_MISSES``
+    therefore equals the number of compiles actually performed.
+
+    The owner builds outside the lock (builds recurse: a fused network
+    build compiles its layers through this same function), consulting
+    the artifact tier first — a deserialized artifact counts as an
+    ``artifact_hit``, not a miss — and offering every fresh build back
+    to the tier.  If the owner's build raises, its waiters wake, and
+    one of them retries as the new owner.
+    """
+    global _HITS, _MISSES, _ARTIFACT_HITS
+    while True:
+        with _CACHE_LOCK:
+            hit = _CACHE.get(key)
+            if hit is not None:
+                _CACHE.move_to_end(key)
+                _HITS += 1
+                return hit
+            flight = _INFLIGHT.get(key)
+            if flight is None:
+                flight = _INFLIGHT[key] = _InFlight()
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                continue  # owner failed; retry (possibly as the new owner)
+            with _CACHE_LOCK:
+                _HITS += 1
+            return flight.value
+        tier = _ARTIFACT_TIER
+        try:
+            value = tier.fetch(key) if tier is not None else None
+            from_artifact = value is not None
+            if not from_artifact:
+                with _CACHE_LOCK:
+                    _MISSES += 1  # committed to an actual compile
+                value = build()
+        except BaseException as exc:
+            flight.error = exc
+            with _CACHE_LOCK:
+                _INFLIGHT.pop(key, None)
+            flight.event.set()
+            raise
+        with _CACHE_LOCK:
+            if from_artifact:
+                _ARTIFACT_HITS += 1
+            _insert_locked(key, value)
+            _INFLIGHT.pop(key, None)
+        flight.value = value
+        flight.event.set()
+        if tier is not None and not from_artifact:
+            tier.offer(key, value)
+        return value
 
 
 def compiled_layer_for(
@@ -401,21 +477,72 @@ def table_program_for(tables: FilterGroupTables) -> TableProgram:
     return _cached(key, lambda: compile_tables(tables, key=key))
 
 
+def set_artifact_tier(tier: object | None) -> object | None:
+    """Install the read-through artifact tier; returns the previous one.
+
+    ``tier`` must expose ``fetch(key) -> program | None`` and
+    ``offer(key, program) -> None`` (see
+    :class:`repro.engine.artifacts.ProgramArtifactTier`).  Pass ``None``
+    to detach and return to a purely in-process cache.
+    """
+    global _ARTIFACT_TIER
+    with _CACHE_LOCK:
+        previous = _ARTIFACT_TIER
+        _ARTIFACT_TIER = tier
+    return previous
+
+
+def get_artifact_tier() -> object | None:
+    """The currently installed artifact tier (``None`` when detached)."""
+    return _ARTIFACT_TIER
+
+
+def seed_program_cache(key: str, program: object) -> bool:
+    """Install a deserialized program under ``key`` without counters.
+
+    The warm-start path (:meth:`ProgramStore.prewarm`) uses this to
+    preload the cache before traffic; subsequent lookups are plain
+    hits.  Returns ``False`` when the key is already cached (the
+    existing object wins, preserving identity for live callers).
+    """
+    with _CACHE_LOCK:
+        if key in _CACHE:
+            return False
+        _insert_locked(key, program)
+        return True
+
+
+def cached_programs() -> dict[str, object]:
+    """Snapshot of the process program cache (``key -> program``)."""
+    with _CACHE_LOCK:
+        return dict(_CACHE)
+
+
 def program_cache_info() -> dict:
-    """Program-cache counters: ``entries``, ``hits``, ``misses``, ``max``."""
+    """Program-cache counters.
+
+    ``hits`` counts in-process cache hits (including single-flight
+    waiters served the owner's build), ``misses`` counts actual
+    compiles, ``artifact_hits`` counts misses satisfied by a
+    deserialized artifact instead of a compile, and ``inflight`` is the
+    number of builds currently executing.
+    """
     with _CACHE_LOCK:
         return {
             "entries": len(_CACHE),
             "hits": _HITS,
             "misses": _MISSES,
+            "artifact_hits": _ARTIFACT_HITS,
+            "inflight": len(_INFLIGHT),
             "max": _MAX_CACHED_PROGRAMS,
         }
 
 
 def clear_program_cache() -> None:
-    """Drop every cached program (tests / memory pressure)."""
-    global _HITS, _MISSES
+    """Drop every cached program and reset counters (tests / memory)."""
+    global _HITS, _MISSES, _ARTIFACT_HITS
     with _CACHE_LOCK:
         _CACHE.clear()
         _HITS = 0
         _MISSES = 0
+        _ARTIFACT_HITS = 0

@@ -14,7 +14,11 @@ Sequencing matters on the way up and the way down: the serve socket is
 bound *before* the join (the front-end may route the moment a worker
 appears on the ring), and ``_leave`` is sent *before* the socket closes
 (so a graceful shutdown moves the ring range with zero failed
-forwards).
+forwards).  With ``prewarm_programs`` in the config, the wrapped
+server pulls the fleet's compiled-program artifacts *before* its
+socket binds — so by the time this node joins the ring and the
+front-end routes to it, every program another node has compiled is
+already a warm cache hit here (compile once, execute everywhere).
 """
 
 from __future__ import annotations
@@ -116,7 +120,8 @@ class WorkerNode:
         self.handle.stop()
 
     def stats(self) -> dict:
-        """The wrapped server's counters."""
+        """The wrapped server's counters (including the ``programs``
+        sub-dict with the pre-warm report when one ran)."""
         return self.handle.stats()
 
     def __enter__(self) -> WorkerNode:

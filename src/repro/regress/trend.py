@@ -1,8 +1,9 @@
 """Bench trend analysis: catch regressions the static floors don't.
 
 The nightly benches upload ``BENCH_kernels.json`` / ``BENCH_serve.json``
-/ ``BENCH_tiers.json`` / ``BENCH_cluster.json`` and gate on *static
-floors* (engine >= 20x per-entry, fused >= 1.5x, warm-serve >= 5x).  A
+/ ``BENCH_tiers.json`` / ``BENCH_cluster.json`` / ``BENCH_programs.json``
+and gate on *static floors* (engine >= 20x per-entry, fused >= 1.5x,
+warm-serve >= 5x, artifact-warm start >= 5x over cold compile).  A
 floor answers "is it still fast enough to bother?" — it does not answer
 "did last week's PR quietly cost 25%?".  A run can clear the 20x floor
 at 49x today when it measured 65x all month; that trajectory is the
@@ -31,7 +32,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 #: Payload kinds the extractor understands.
-TREND_KINDS = ("kernels", "serve", "tiers", "cluster")
+TREND_KINDS = ("kernels", "serve", "tiers", "cluster", "programs")
 
 #: Fraction-worse-than-median that flags a regression.
 DEFAULT_THRESHOLD = 0.20
@@ -151,6 +152,14 @@ def extract_metrics(kind: str, payload: Mapping) -> list[Metric]:
             p = payload.get(pass_name)
             if isinstance(p, Mapping) and isinstance(p.get("stats"), Mapping):
                 metrics.extend(_stats_metrics(f"cluster.{pass_name}", p["stats"]))
+    elif kind == "programs":
+        # bench_program_store.py: cold compile vs artifact-warm start.
+        for field in ("cold_compile_s", "warm_start_s", "artifact_save_s"):
+            if field in payload:
+                metrics.append(Metric(f"programs.{field}", float(payload[field]), "lower"))
+        if "warm_speedup" in payload:
+            metrics.append(Metric(
+                "programs.warm_speedup", float(payload["warm_speedup"]), "higher"))
     return metrics
 
 

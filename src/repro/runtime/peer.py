@@ -40,6 +40,12 @@ a raw blob — passthrough only, never unpickled — stored, and served.
 This is how a fabric worker's cache reaches the front-end's: worker →
 its local peer → the front-end's peer, each hop authenticated with the
 same fleet secret.
+
+Compiled-program artifacts ride this exact surface: ``repro programs
+push|pull`` and serve-node pre-warm move :mod:`repro.engine.artifacts`
+envelopes (plus one manifest blob) through the same ``/cache/<key>``
+routes under the same auth — to the peer they are just more opaque
+bytes.  One node compiles, pushes here, and the fleet warm-starts.
 """
 
 from __future__ import annotations

@@ -34,6 +34,13 @@ members can feed blobs into a cache that will unpickle them.  The
 signature authenticates membership and integrity, not confidentiality;
 for hostile networks add TLS in front.
 
+Not every blob is a pickle: compiled-program artifacts
+(:mod:`repro.engine.artifacts` — self-validating envelopes, no pickle
+at all) travel through the same tiers under the same 64-hex key
+schema.  Neither the tiers nor the peer can tell the difference, which
+is the point: one federation surface, one auth story, for results and
+programs alike.
+
 The wire peer itself lives in :mod:`repro.runtime.peer`; this module
 holds the client-side tiers and the read-through composition.
 """
@@ -195,6 +202,19 @@ class HTTPPeerTier:
             "gets": 0, "hits": 0, "misses": 0, "puts": 0,
             "put_failures": 0, "errors": 0, "skipped": 0,
         }
+
+    @classmethod
+    def for_bulk(cls, url: str, timeout: float = 10.0,
+                 secret: str | None = None) -> HTTPPeerTier:
+        """A tier tuned for one-shot bulk sync (push/pull/prewarm).
+
+        The serving defaults are wrong for bulk transfers: a 2 s
+        timeout truncates big blobs and a 3-failure breaker silently
+        skips the tail of a sync.  This variant uses a generous timeout
+        and disables the breaker so every key is honestly attempted and
+        every failure is reported, not swallowed.
+        """
+        return cls(url, timeout=timeout, failure_threshold=1 << 30, secret=secret)
 
     # -- tier protocol -------------------------------------------------
 

@@ -65,6 +65,17 @@ class ServeConfig:
             When set, every request must carry a valid HMAC ``auth``
             field — checked before the endpoint is even resolved.
             ``None`` keeps the server open (the pre-fabric behaviour).
+        prewarm_programs: before binding the socket, pull the fleet's
+            compiled-program artifacts (from ``remote_cache`` when set,
+            else the local artifact dir) and seed the engine program
+            cache, then leave the artifact tier installed so later
+            compiles are shared back.  A cold node that prewarms serves
+            its first ``network_forward`` with zero compilations.  The
+            warm cache lives in the serving process: ``"thread"`` shard
+            workers share it directly; ``"process"`` shards keep
+            per-process program caches (they inherit the warm cache on
+            fork-start platforms, and the pulled artifact files are on
+            disk either way).
     """
 
     host: str = "127.0.0.1"
@@ -79,6 +90,7 @@ class ServeConfig:
     remote_cache: str | None = None
     remote_timeout: float = 2.0
     auth_secret: str | None = None
+    prewarm_programs: bool = False
 
     def __post_init__(self):
         if self.workers < 1:
@@ -164,6 +176,8 @@ class Server:
             max_delay=self.config.max_delay_ms / 1000.0,
         )
         self.port: int | None = None
+        self.programs_prewarmed: dict | None = None
+        self._program_tier = None
         self._inflight: dict[str, asyncio.Future] = {}
         self._server: asyncio.base_events.Server | None = None
         self._conn_tasks: set[asyncio.Task] = set()
@@ -181,10 +195,44 @@ class Server:
         snapshot = self.stats.snapshot()
         if isinstance(self.cache, TieredCache):
             snapshot["tier"] = self.cache.tier_stats()
+        from repro.engine.program import program_cache_info
+        programs = program_cache_info()
+        if self.programs_prewarmed is not None:
+            programs["prewarm"] = self.programs_prewarmed
+        snapshot["programs"] = programs
         return snapshot
 
+    def _prewarm_programs(self) -> dict:
+        """Pull fleet program artifacts and install the artifact tier.
+
+        Runs in an executor before the socket binds (so traffic never
+        races the warm-up).  Best-effort end to end: a down peer or a
+        stale artifact shrinks the installed count, never blocks
+        serving.
+        """
+        from repro.engine.artifacts import ProgramArtifactTier, ProgramStore
+        from repro.engine.program import set_artifact_tier
+        store = ProgramStore(
+            root=self.config.cache_dir,
+            remote=self.config.remote_cache,
+            remote_timeout=max(self.config.remote_timeout, 10.0))
+        report = store.prewarm()
+        self._program_tier = ProgramArtifactTier(store)
+        set_artifact_tier(self._program_tier)
+        return report
+
     async def start(self) -> None:
-        """Bind the listening socket; fills in :attr:`port`."""
+        """Bind the listening socket; fills in :attr:`port`.
+
+        When :attr:`ServeConfig.prewarm_programs` is set, the program
+        pre-warm (pull artifacts, seed the engine cache, install the
+        write-back tier) completes *before* the bind — a client that
+        can connect is a client that gets warm programs.
+        """
+        if self.config.prewarm_programs:
+            loop = asyncio.get_running_loop()
+            self.programs_prewarmed = await loop.run_in_executor(
+                None, self._prewarm_programs)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
             limit=MAX_LINE_BYTES)
@@ -213,6 +261,16 @@ class Server:
             # Drain pending write-backs off the loop (close blocks on
             # the write-back worker, which may be mid-HTTP-push).
             await asyncio.get_running_loop().run_in_executor(None, self.cache.close)
+        if self._program_tier is not None:
+            # Detach the process-global artifact tier only if it is
+            # still ours (another server may have installed its own),
+            # then flush its pending write-backs off the loop.
+            from repro.engine.program import get_artifact_tier, set_artifact_tier
+            if get_artifact_tier() is self._program_tier:
+                set_artifact_tier(None)
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._program_tier.close)
+            self._program_tier = None
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:

@@ -1,0 +1,319 @@
+"""Tests for the compiled-program artifact store (repro.engine.artifacts).
+
+Round trips must be bit-identical in execution; every corruption,
+truncation, version bump, or stale-fingerprint path must be a clean
+:class:`ArtifactError` — never a crash, never a wrong result.
+"""
+
+import json
+import struct
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import artifacts as A
+from repro.engine import (
+    clear_program_cache,
+    compile_network,
+    compiled_layer_for,
+    program_cache_info,
+    table_program_for,
+)
+from repro.engine.fusion import FallbackStep, NetworkProgram
+from repro.engine.program import cached_programs, set_artifact_tier
+from repro.core.hierarchical import build_filter_group_tables
+
+_RNG = np.random.default_rng(20260807)
+
+
+def _layer(seed=0, k=6, n=18):
+    rng = np.random.default_rng(seed)
+    clear_program_cache()
+    return compiled_layer_for(rng.integers(-4, 5, size=(k, n)), group_size=2)
+
+
+def _network():
+    from repro.serve.endpoints import network_forward
+
+    clear_program_cache()
+    network_forward(seed=5, batch=1)
+    progs = cached_programs()
+    return next(v for k, v in progs.items() if k.startswith("net:"))
+
+
+# One envelope reused by the hypothesis corruption tests.
+_BLOB = A.serialize_program(_layer())
+
+
+class TestRoundTrip:
+    def test_compiled_layer_bit_identical(self, rng):
+        layer = _layer(seed=1)
+        again = A.deserialize_program(A.serialize_program(layer),
+                                      expected_key=layer.key)
+        assert type(again) is type(layer)
+        assert again.key == layer.key
+        windows = rng.integers(-9, 10, size=(40, layer.program.filter_size))
+        assert np.array_equal(layer.program.run(windows), again.program.run(windows))
+        assert np.array_equal(layer.canonical, again.canonical)
+        for t1, t2 in zip(layer.groups, again.groups):
+            assert np.array_equal(t1.filters, t2.filters)
+            assert np.array_equal(t1.iit, t2.iit)
+            assert t1.max_group_size == t2.max_group_size
+
+    def test_table_program_bit_identical(self, rng):
+        clear_program_cache()
+        tables = build_filter_group_tables(rng.integers(-3, 4, size=(3, 20)))
+        program = table_program_for(tables)
+        again = A.deserialize_program(A.serialize_program(program))
+        windows = rng.integers(-9, 10, size=(25, 20))
+        assert np.array_equal(program.run(windows), again.run(windows))
+        assert [s.num_entries for s in program.stats] == [
+            s.num_entries for s in again.stats]
+
+    def test_network_program_bit_identical(self, rng):
+        program = _network()
+        again = A.deserialize_program(A.serialize_program(program))
+        assert isinstance(again, NetworkProgram)
+        assert again.key == program.key
+        assert [type(s).__name__ for s in again.steps] == [
+            type(s).__name__ for s in program.steps]
+        batch = rng.integers(-16, 17, size=(2, *program.input_shape))
+        assert np.array_equal(program.run(batch), again.run(batch))
+
+    def test_decoded_arrays_are_writable(self):
+        again = A.deserialize_program(_BLOB)
+        again.program.gather.flags.writeable  # noqa: B018 — must not raise
+        assert again.program.gather.flags.writeable
+
+
+class TestRejection:
+    def test_version_bump_rejected(self):
+        layer = _layer(seed=2)
+        blob = A.serialize_program(layer)
+        # Rebuild the envelope with a bumped schema_version, re-signing
+        # both digests — only the version check can reject it.
+        hlen = struct.unpack(">I", blob[8:12])[0]
+        header = json.loads(blob[12:12 + hlen])
+        header["schema_version"] = A.SCHEMA_VERSION + 1
+        payload = blob[12 + hlen:-32]
+        import hashlib
+        hj = json.dumps(header, separators=(",", ":"), sort_keys=True).encode()
+        body = A.MAGIC + struct.pack(">I", len(hj)) + hj + payload
+        forged = body + hashlib.sha256(body).digest()
+        with pytest.raises(A.ArtifactError, match="schema_version"):
+            A.deserialize_program(forged)
+
+    def test_stale_fingerprint_rejected(self):
+        layer = _layer(seed=3)
+        blob = A.serialize_program(layer, fingerprint="0123456789abcdef")
+        with pytest.raises(A.ArtifactError, match="stale"):
+            A.deserialize_program(blob)
+        # ...but the matching fingerprint round-trips.
+        assert A.deserialize_program(blob, fingerprint="0123456789abcdef")
+
+    def test_wrong_key_rejected(self):
+        with pytest.raises(A.ArtifactError, match="key mismatch"):
+            A.deserialize_program(_BLOB, expected_key="layer:g1:m16:c1:" + "0" * 64)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(A.ArtifactError, match="magic"):
+            A.deserialize_program(b"NOTMAGIC" + _BLOB[8:])
+
+    def test_non_artifact_bytes_rejected(self):
+        for junk in (b"", b"x", b"{}", bytes(64)):
+            with pytest.raises(A.ArtifactError):
+                A.deserialize_program(junk)
+
+    def test_fallback_step_rejected(self):
+        program = _network()
+        bad = NetworkProgram(
+            name=program.name, input_shape=program.input_shape,
+            output_shape=program.output_shape,
+            steps=program.steps + (FallbackStep(
+                name="opaque", layer=object(),
+                in_shape=program.output_shape, out_shape=program.output_shape),),
+            plan=program.plan, key=program.key)
+        with pytest.raises(A.ArtifactError, match="fallback"):
+            A.serialize_program(bad)
+
+    def test_unkeyed_program_rejected(self):
+        layer = _layer(seed=4)
+        with pytest.raises(A.ArtifactError, match="key"):
+            A.serialize_program(layer.program.__class__(
+                gather=layer.program.gather, passes=layer.program.passes,
+                num_filters=layer.program.num_filters,
+                filter_size=layer.program.filter_size,
+                num_groups=layer.program.num_groups, stats=layer.program.stats,
+                skip_entries=layer.program.skip_entries, key=None))
+
+    def test_non_program_rejected(self):
+        with pytest.raises(A.ArtifactError, match="cannot serialize"):
+            A.serialize_program({"not": "a program"})
+
+
+class TestCorruptionProperties:
+    """The trailing whole-envelope digest catches *any* byte damage."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(pos=st.integers(0, len(_BLOB) - 1), flip=st.integers(1, 255))
+    def test_any_byte_flip_rejected(self, pos, flip):
+        bad = bytearray(_BLOB)
+        bad[pos] ^= flip
+        with pytest.raises(A.ArtifactError):
+            A.deserialize_program(bytes(bad))
+
+    @settings(max_examples=60, deadline=None)
+    @given(cut=st.integers(0, len(_BLOB) - 1))
+    def test_any_truncation_rejected(self, cut):
+        with pytest.raises(A.ArtifactError):
+            A.deserialize_program(_BLOB[:cut])
+
+    @settings(max_examples=60, deadline=None)
+    @given(extra=st.binary(min_size=1, max_size=64))
+    def test_any_suffix_rejected(self, extra):
+        with pytest.raises(A.ArtifactError):
+            A.deserialize_program(_BLOB + extra)
+
+
+class TestProgramStore:
+    def test_save_load_round_trip(self, tmp_path, rng):
+        layer = _layer(seed=6)
+        store = A.ProgramStore(root=tmp_path)
+        assert store.save(layer.key, layer)
+        again = store.load(layer.key)
+        windows = rng.integers(-9, 10, size=(10, layer.program.filter_size))
+        assert np.array_equal(layer.program.run(windows), again.program.run(windows))
+        manifest = store.manifest()
+        assert manifest[layer.key]["kind"] == A.KIND_LAYER
+
+    def test_load_absent_returns_none(self, tmp_path):
+        assert A.ProgramStore(root=tmp_path).load("layer:g1:m16:c1:" + "0" * 64) is None
+
+    def test_stale_blob_load_returns_none(self, tmp_path):
+        layer = _layer(seed=7)
+        writer = A.ProgramStore(root=tmp_path, fingerprint="feedface12345678")
+        assert writer.save(layer.key, layer)
+        reader = A.ProgramStore(root=tmp_path)  # live fingerprint differs
+        assert reader.load(layer.key) is None
+        assert reader.stats()["stale"] == 1
+
+    def test_save_unserializable_returns_false(self, tmp_path):
+        store = A.ProgramStore(root=tmp_path)
+        assert not store.save("net:bad", object())
+        assert store.stats()["save_rejected"] == 1
+
+    def test_store_key_is_blob_key_shaped(self):
+        from repro.runtime.tiers import KEY_RE
+
+        assert KEY_RE.fullmatch(A.ProgramStore.store_key("layer:g2:m16:c1:abc"))
+        assert KEY_RE.fullmatch(A.ProgramStore.MANIFEST_KEY)
+
+    def test_magic_literals_pinned_to_cache_breakdown(self, tmp_path):
+        """cache.py duplicates the magic prefixes; keep them in sync."""
+        assert A.MAGIC == b"RPROGART" and A.MANIFEST_MAGIC == b"RPROGMAN"
+        layer = _layer(seed=8)
+        store = A.ProgramStore(root=tmp_path)
+        store.save(layer.key, layer)
+        groups = {g.fn for g in store.cache.breakdown()}
+        assert "(program-artifact)" in groups
+        assert "(program-manifest)" in groups
+
+
+class TestFleetSync:
+    def test_push_pull_prewarm_zero_misses(self, rng):
+        """Node A compiles+pushes; node B pulls and serves with 0 compiles."""
+        from repro.runtime.peer import CachePeer
+        from repro.serve.endpoints import network_forward
+
+        with tempfile.TemporaryDirectory() as peer_root, \
+             tempfile.TemporaryDirectory() as a_root, \
+             tempfile.TemporaryDirectory() as b_root, \
+             CachePeer(root=peer_root, port=0) as peer:
+            url = f"http://127.0.0.1:{peer.port}"
+            store_a = A.ProgramStore(root=a_root, remote=url)
+            tier_a = A.ProgramArtifactTier(store_a)
+            previous = set_artifact_tier(tier_a)
+            try:
+                clear_program_cache()
+                ref = network_forward(seed=13, batch=2)
+                tier_a.drain()
+            finally:
+                set_artifact_tier(previous)
+                tier_a.close()
+            assert ref["parity"]
+            assert len(store_a.manifest()) >= 2  # net: + layer: programs
+
+            clear_program_cache()
+            store_b = A.ProgramStore(root=b_root, remote=url)
+            report = store_b.prewarm()
+            assert report["installed"] >= 2 and report["failed"] == 0
+            res = network_forward(seed=13, batch=2)
+            info = program_cache_info()
+            assert info["misses"] == 0, f"warm node compiled: {info}"
+            assert res["out_checksum"] == ref["out_checksum"]
+            assert res["program_key"] == ref["program_key"]
+
+    def test_pull_rejects_stale_fleet_artifacts(self):
+        from repro.runtime.peer import CachePeer
+
+        layer = _layer(seed=14)
+        with tempfile.TemporaryDirectory() as peer_root, \
+             tempfile.TemporaryDirectory() as a_root, \
+             tempfile.TemporaryDirectory() as b_root, \
+             CachePeer(root=peer_root, port=0) as peer:
+            url = f"http://127.0.0.1:{peer.port}"
+            old = A.ProgramStore(root=a_root, remote=url,
+                                 fingerprint="00000000deadbeef")
+            assert old.save(layer.key, layer)
+            assert old.push().copied == 1
+            new = A.ProgramStore(root=b_root, remote=url)
+            report = new.pull()
+            assert report.copied == 0 and report.failed == 1
+            assert new.load(layer.key) is None  # never landed locally
+
+    def test_prewarm_without_remote_uses_local_dir(self, tmp_path):
+        layer = _layer(seed=15)
+        store = A.ProgramStore(root=tmp_path)
+        store.save(layer.key, layer)
+        clear_program_cache()
+        report = A.ProgramStore(root=tmp_path).prewarm()
+        assert report == {"installed": 1, "skipped": 0, "failed": 0, "pulled": None}
+        info = program_cache_info()
+        assert info["entries"] == 1 and info["misses"] == 0
+
+    def test_prewarm_survives_dead_peer(self, tmp_path):
+        clear_program_cache()
+        store = A.ProgramStore(root=tmp_path, remote="http://127.0.0.1:9",
+                               remote_timeout=0.2)
+        report = store.prewarm()  # must not raise
+        assert report["installed"] == 0
+        assert report["pulled"] in (None, "peer unreachable")
+
+
+class TestArtifactTier:
+    def test_read_through_and_write_back(self, tmp_path, rng):
+        layer = _layer(seed=16)
+        store = A.ProgramStore(root=tmp_path)
+        tier = A.ProgramArtifactTier(store)
+        try:
+            assert tier.fetch(layer.key) is None  # cold store
+            tier.offer(layer.key, layer)
+            tier.drain()
+            warm = tier.fetch(layer.key)
+            assert warm is not None and warm.key == layer.key
+            stats = tier.stats()
+            assert stats["stored"] == 1 and stats["fetch_hits"] == 1
+        finally:
+            tier.close()
+
+    def test_offer_of_unserializable_is_harmless(self, tmp_path):
+        tier = A.ProgramArtifactTier(A.ProgramStore(root=tmp_path))
+        try:
+            tier.offer("net:bad", object())
+            tier.drain()
+            assert tier.stats()["store_failures"] == 1
+        finally:
+            tier.close()

@@ -1,5 +1,8 @@
 """Unit tests for the compiled segment-scan engine (repro.engine)."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -218,3 +221,156 @@ class TestCrosscheckHook:
         )
         with pytest.raises(ConsistencyError):
             crosscheck_tables(tables, rng.integers(1, 9, size=(2, 10)), lane=False)
+
+
+class TestSingleFlight:
+    """Concurrent misses on one key must compile once, share the object."""
+
+    def test_hammer_one_build_shared_object(self):
+        from repro.engine.program import _cached
+
+        clear_program_cache()
+        builds = []
+        build_gate = threading.Barrier(8, timeout=10.0)
+
+        def build():
+            builds.append(threading.get_ident())
+            time.sleep(0.02)  # widen the race window
+            return object()
+
+        results = [None] * 8
+        def worker(i):
+            build_gate.wait()  # all 8 threads hit the miss together
+            results[i] = _cached("test:singleflight", build)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(builds) == 1, f"expected exactly one build, got {len(builds)}"
+        assert all(r is results[0] for r in results), "callers got different objects"
+        info = program_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 7  # the 7 waiters count as hits
+        assert info["inflight"] == 0
+
+    def test_owner_failure_wakes_waiters_and_retries(self):
+        from repro.engine.program import _cached
+
+        clear_program_cache()
+        attempts = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def failing_then_ok():
+            attempts.append(None)
+            if len(attempts) == 1:
+                started.set()
+                release.wait(timeout=10.0)
+                raise RuntimeError("owner build exploded")
+            return "second-try"
+
+        errors, values = [], []
+        def first():
+            try:
+                values.append(_cached("test:retry", failing_then_ok))
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=first)
+        t1.start()
+        assert started.wait(timeout=10.0)
+        t2 = threading.Thread(target=first)
+        t2.start()
+        time.sleep(0.05)  # let t2 park on the in-flight event
+        release.set()
+        t1.join(timeout=10.0)
+        t2.join(timeout=10.0)
+        # The owner saw its own exception; the waiter retried and built.
+        assert len(errors) == 1 and "exploded" in str(errors[0])
+        assert values == ["second-try"]
+        assert len(attempts) == 2
+        assert program_cache_info()["inflight"] == 0
+
+    def test_compiled_layer_for_hammer(self, rng):
+        clear_program_cache()
+        weights = rng.integers(-3, 4, size=(6, 2, 3, 3))
+        gate = threading.Barrier(8, timeout=10.0)
+        results = [None] * 8
+
+        def worker(i):
+            gate.wait()
+            results[i] = compiled_layer_for(weights, group_size=2)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert all(r is results[0] for r in results)
+        info = program_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 7
+
+
+class _FakeTier:
+    """Artifact-tier stub: canned fetch results, recorded offers."""
+
+    def __init__(self, programs=None):
+        self.programs = dict(programs or {})
+        self.fetches = []
+        self.offers = []
+
+    def fetch(self, key):
+        self.fetches.append(key)
+        return self.programs.get(key)
+
+    def offer(self, key, value):
+        self.offers.append((key, value))
+
+
+class TestArtifactTierHook:
+    def test_fetch_hit_skips_build_and_counts_artifact_hit(self):
+        from repro.engine.program import _cached, set_artifact_tier
+
+        clear_program_cache()
+        sentinel = object()
+        tier = _FakeTier({"test:warm": sentinel})
+        previous = set_artifact_tier(tier)
+        try:
+            value = _cached("test:warm", lambda: pytest.fail("built despite artifact"))
+        finally:
+            set_artifact_tier(previous)
+        assert value is sentinel
+        info = program_cache_info()
+        assert info["artifact_hits"] == 1
+        assert info["misses"] == 0  # an artifact hit is not a compile
+        assert tier.offers == []  # nothing fresh to write back
+
+    def test_fresh_build_offered_back(self):
+        from repro.engine.program import _cached, set_artifact_tier
+
+        clear_program_cache()
+        tier = _FakeTier()
+        built = object()
+        previous = set_artifact_tier(tier)
+        try:
+            value = _cached("test:cold", lambda: built)
+        finally:
+            set_artifact_tier(previous)
+        assert value is built
+        assert tier.fetches == ["test:cold"]
+        assert tier.offers == [("test:cold", built)]
+        assert program_cache_info()["misses"] == 1
+
+    def test_seed_program_cache(self):
+        from repro.engine.program import _cached, seed_program_cache
+
+        clear_program_cache()
+        seeded = object()
+        assert seed_program_cache("test:seeded", seeded)
+        assert not seed_program_cache("test:seeded", object())  # existing wins
+        assert _cached("test:seeded", lambda: pytest.fail("compiled")) is seeded
+        info = program_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 0

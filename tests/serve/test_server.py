@@ -254,3 +254,42 @@ class TestStats:
         assert stats["hits"] + stats["misses"] + stats["coalesced"] == 25
         assert stats["misses"] >= 1
         assert sum(stats["per_shard"].values()) == stats["misses"]
+
+
+class TestProgramPrewarm:
+    def test_prewarmed_server_serves_with_zero_compiles(self, tmp_path):
+        """Warm-start proof at the serve layer: pull artifacts, 0 misses."""
+        from repro.engine import clear_program_cache
+        from repro.engine.artifacts import ProgramArtifactTier, ProgramStore
+        from repro.engine.program import set_artifact_tier
+        from repro.serve.endpoints import network_forward
+
+        # "Node A": compile into the artifact dir via the tier.
+        store = ProgramStore(root=tmp_path / "cache")
+        tier = ProgramArtifactTier(store)
+        previous = set_artifact_tier(tier)
+        try:
+            clear_program_cache()
+            ref = network_forward(seed=21, batch=2)
+            tier.drain()
+        finally:
+            set_artifact_tier(previous)
+            tier.close()
+        clear_program_cache()
+
+        # "Node B": same artifact dir, fresh program cache, prewarm on.
+        config = make_config(tmp_path, workers=1, prewarm_programs=True)
+        with ServerHandle(config) as handle:
+            with ServeClient(port=handle.port) as client:
+                response = client.send("network_forward", {"seed": 21, "batch": 2})
+            stats = handle.stats()
+        assert response.ok, response.error
+        assert response.value["out_checksum"] == ref["out_checksum"]
+        programs = stats["programs"]
+        assert programs["prewarm"]["installed"] >= 2
+        assert programs["misses"] == 0, f"prewarmed server compiled: {programs}"
+
+    def test_stats_always_carry_programs_block(self, server):
+        stats = server.stats()
+        assert "programs" in stats
+        assert set(stats["programs"]) >= {"entries", "hits", "misses", "artifact_hits"}

@@ -246,3 +246,59 @@ class TestServe:
         assert data["parity"]["mismatches"] == 0
         assert data["warm"]["hit_rate"] == 1.0
         assert data["warm_speedup"] > 0
+
+
+class TestProgramsCommand:
+    def _seed_store(self, root):
+        """Compile one small layer into an artifact store under root."""
+        import numpy as np
+
+        from repro.engine import clear_program_cache, compiled_layer_for
+        from repro.engine.artifacts import ProgramStore
+
+        clear_program_cache()
+        weights = np.random.default_rng(0).integers(-3, 4, size=(4, 12))
+        layer = compiled_layer_for(weights, group_size=2)
+        store = ProgramStore(root=root)
+        assert store.save(layer.key, layer)
+        return layer
+
+    def test_info_empty(self, tmp_path, capsys):
+        assert main(["programs", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "program artifacts" in out and "engine fingerprint" in out
+
+    def test_list_and_info(self, tmp_path, capsys):
+        layer = self._seed_store(tmp_path)
+        assert main(["programs", "list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert layer.key in out and "compiled_layer" in out and "fresh" in out
+        assert main(["programs", "info", "--cache-dir", str(tmp_path)]) == 0
+        assert "1" in capsys.readouterr().out
+
+    def test_push_pull_round_trip(self, tmp_path, capsys):
+        from repro.runtime.peer import CachePeer
+
+        layer = self._seed_store(tmp_path / "a")
+        with CachePeer(root=str(tmp_path / "peer"), port=0) as peer:
+            url = f"http://127.0.0.1:{peer.port}"
+            assert main(["programs", "push", url, "--cache-dir", str(tmp_path / "a")]) == 0
+            assert "1 copied" in capsys.readouterr().out
+            assert main(["programs", "pull", url, "--cache-dir", str(tmp_path / "b")]) == 0
+            assert "1 copied" in capsys.readouterr().out
+        from repro.engine.artifacts import ProgramStore
+
+        pulled = ProgramStore(root=tmp_path / "b").load(layer.key)
+        assert pulled is not None and pulled.key == layer.key
+
+    def test_push_requires_url(self, tmp_path):
+        with pytest.raises(SystemExit, match="peer URL"):
+            main(["programs", "push", "--cache-dir", str(tmp_path)])
+
+    def test_info_rejects_url(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not take"):
+            main(["programs", "info", "http://x:1", "--cache-dir", str(tmp_path)])
+
+    def test_unreachable_peer_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="unreachable"):
+            main(["programs", "push", "http://127.0.0.1:9", "--cache-dir", str(tmp_path)])
