@@ -1,7 +1,9 @@
 """Bench: the multi-node fabric — steady state, SIGKILL, overload.
 
 One in-process front-end routes over two **real subprocess workers**
-(``python -m repro.cli worker``) sharing an HMAC secret.  Three
+(``python -m repro.cli worker``) sharing an HMAC secret, with
+``replication=2`` so each key range lists both workers in its
+preference order — the production replicated-routing shape.  Three
 closed-loop passes tell the fabric story end to end:
 
 * **steady** — a mixed high/normal ``runtime_point`` workload across
@@ -104,7 +106,7 @@ def _cluster_passes(smoke: bool) -> dict:
     base = Path(tempfile.mkdtemp(prefix="repro-bench-cluster-"))
     fe = FrontendHandle(FrontendConfig(
         port=0, heartbeat_timeout=1.0, rates={"low": LOW_RATE},
-        auth_secret=SECRET))
+        auth_secret=SECRET, replication=2))
     fe.start()
     procs = [_spawn_worker(i, base, fe.port) for i in range(2)]
     try:
@@ -145,7 +147,8 @@ def test_bench_cluster(benchmark, record_result):
     passes = run_once(benchmark, _cluster_passes, smoke)
     frontend = passes["frontend"]
 
-    rows, data = [], {"smoke": smoke, "workers": 2, "frontend": frontend}
+    rows, data = [], {"smoke": smoke, "workers": 2, "replication": 2,
+                      "frontend": frontend}
     for name in ("steady", "failover", "overload"):
         result = passes[name]["result"]
         s = result.stats

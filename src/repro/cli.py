@@ -25,12 +25,19 @@ Commands:
   (HMAC-authenticated requests only), and ``--prewarm-programs``
   (pull the fleet's compiled programs before taking traffic);
 * ``frontend`` — run a fabric front-end (``repro.fabric``): workers
-  join it, clients get hash-ring routing + admission control;
+  join it, clients get hash-ring routing + admission control, and
+  ``--replication R`` routes each key over R replicas with load spill
+  and warm failover;
 * ``worker`` — run a serve process that joins a front-end
   (``--join HOST:PORT``) and heartbeats until stopped;
+* ``frontend-status`` — dial a running front-end and print its live
+  members, per-worker in-flight load, replica assignments, and shed
+  counters;
 * ``bench-serve`` — closed-loop load generator against an in-process
   server; reports p50/p99 latency, throughput, and the warm-over-cold
   speedup, optionally writing a ``BENCH_serve.json`` artifact;
+  ``--duration S`` adds a sustained pass that cycles the mix for S
+  seconds (its p99/shed rate feed ``repro regress --trend serve``);
 * ``factorize`` — factorize a random quantized layer and report table
   statistics (a quick feel for the mechanism);
 * ``regress`` — the golden-result harness (``repro.regress``):
@@ -54,8 +61,9 @@ Examples::
     python -m repro.cli programs push http://peer:8601
     python -m repro.cli worker --join 127.0.0.1:8640 --remote-cache http://peer:8601 --prewarm-programs
     python -m repro.cli serve --workers 4 --port 8537
-    python -m repro.cli frontend --port 8640 --max-inflight 64
+    python -m repro.cli frontend --port 8640 --max-inflight 64 --replication 2
     python -m repro.cli worker --join 127.0.0.1:8640 --workers 2
+    python -m repro.cli frontend-status 127.0.0.1:8640
     python -m repro.cli bench-serve --requests 200 --verify --json BENCH_serve.json
     python -m repro.cli factorize --u 17 --density 0.9 --c 64
     python -m repro.cli regress --check
@@ -63,7 +71,9 @@ Examples::
     python -m repro.cli regress --trend kernels night1.json night2.json night3.json
 
 Fabric commands read the shared HMAC secret from ``--secret`` or the
-``REPRO_FABRIC_SECRET`` environment variable (see ``docs/api.md``).
+``REPRO_FABRIC_SECRET`` environment variable, and their TLS identity
+from ``--tls-cert/--tls-key/--tls-ca`` or the ``REPRO_FABRIC_TLS_*``
+environment (see ``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -407,6 +417,21 @@ def cmd_programs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _tls_from(args: argparse.Namespace):
+    """Build a :class:`~repro.fabric.tls.TLSConfig` from CLI flags.
+
+    Returns ``None`` when no flag was given — downstream the node falls
+    back to the ``REPRO_FABRIC_TLS_*`` environment, and with neither it
+    speaks cleartext.
+    """
+    from repro.fabric.tls import TLSConfig
+
+    if args.tls_cert or args.tls_key or args.tls_ca:
+        return TLSConfig(certfile=args.tls_cert, keyfile=args.tls_key,
+                         cafile=args.tls_ca)
+    return None
+
+
 def cmd_cache_peer(args: argparse.Namespace) -> int:
     """Run an HTTP cache peer until interrupted.
 
@@ -420,12 +445,15 @@ def cmd_cache_peer(args: argparse.Namespace) -> int:
 
     peer = CachePeer(root=args.cache_dir, host=args.host, port=args.port,
                      max_bytes=args.max_bytes, upstream=args.upstream,
-                     secret=args.secret or default_secret())
+                     secret=args.secret or default_secret(), tls=_tls_from(args))
     budget = f"{args.max_bytes} bytes" if args.max_bytes is not None else "unbounded"
     extras = f", auth: {'HMAC' if peer.secret else 'open'}"
+    if peer.tls is not None:
+        extras += ", TLS"
     if args.upstream:
         extras += f", upstream: {args.upstream}"
-    print(f"cache peer listening on http://{args.host}:{peer.port} "
+    scheme = "https" if peer.tls is not None else "http"
+    print(f"cache peer listening on {scheme}://{args.host}:{peer.port} "
           f"(root: {peer.cache.root}, budget: {budget}{extras}); Ctrl-C to stop",
           flush=True)
     try:
@@ -457,6 +485,7 @@ def _serve_config_from(args: argparse.Namespace) -> "object":
         remote_cache=args.remote_cache,
         auth_secret=args.secret or default_secret(),
         prewarm_programs=args.prewarm_programs,
+        tls=_tls_from(args),
     )
 
 
@@ -529,12 +558,18 @@ def cmd_frontend(args: argparse.Namespace) -> int:
         rates=_parse_rates(args.rate),
         forward_timeout=args.forward_timeout,
         auth_secret=args.secret or default_secret(),
+        replication=args.replication,
+        worker_inflight_limit=args.worker_inflight_limit,
+        tls=_tls_from(args),
     )
     handle = FrontendHandle(config).start()
     auth = "HMAC" if config.auth_secret else "open"
+    if config.tls is not None:
+        auth += "+TLS"
     print(f"fabric front-end on {config.host}:{handle.port} "
-          f"(max inflight {config.max_inflight}, heartbeat timeout "
-          f"{config.heartbeat_timeout}s, auth: {auth}); Ctrl-C to stop", flush=True)
+          f"(replication {config.replication}, max inflight {config.max_inflight}, "
+          f"heartbeat timeout {config.heartbeat_timeout}s, auth: {auth}); "
+          f"Ctrl-C to stop", flush=True)
     try:
         while True:
             time.sleep(3600)
@@ -562,6 +597,7 @@ def cmd_worker(args: argparse.Namespace) -> int:
     node = WorkerNode(
         config, frontend_host, frontend_port,
         worker_id=args.worker_id, advertise_host=args.advertise_host,
+        prewarm_interval=args.prewarm_interval,
     ).start()
     print(f"fabric worker {node.worker_id!r} serving on {config.host}:{node.port}, "
           f"joined {frontend_host}:{frontend_port} "
@@ -581,15 +617,74 @@ def cmd_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_frontend_status(args: argparse.Namespace) -> int:
+    """Dial a running front-end and print its operational picture.
+
+    Four sections: the live member table (per-worker address, in-flight
+    forwards, lifetime forwards/spills, heartbeat age), the replica
+    assignment summary from the routed-key catalog (how many cataloged
+    keys each worker is primary/replica for), the routing counters
+    (spills, retries, refused non-idempotent replays), and the
+    admission shed counters.
+    """
+    from repro.fabric.auth import default_secret
+    from repro.serve.client import ServeClient
+
+    host, port = _parse_hostport(args.frontend)
+    with ServeClient(host, port, secret=args.secret or default_secret(),
+                     tls=_tls_from(args)) as client:
+        members = client.send("_members", {})
+        stats = client.send("_stats", {})
+        assignments = client.send("_assignments", {})
+    for response, what in ((members, "_members"), (stats, "_stats"),
+                           (assignments, "_assignments")):
+        if not response.ok:
+            raise SystemExit(f"front-end {args.frontend} refused {what}: "
+                             f"{response.error}")
+    m, s, a = members.value, stats.value, assignments.value
+
+    placement = (a or {}).get("workers", {})
+    print(f"front-end {args.frontend}: {len(m['workers'])} live worker(s), "
+          f"ring version {m['version']}, replication {a.get('replication', 1)}")
+    rows = [
+        (w["worker_id"], f"{w['host']}:{w['port']}", w["inflight"],
+         w["forwards"], w["spills"],
+         placement.get(w["worker_id"], {}).get("primary", 0),
+         placement.get(w["worker_id"], {}).get("replica", 0),
+         f"{w['heartbeat_age_s']:.2f}s")
+        for w in m["workers"]
+    ]
+    print(format_table(
+        ("worker", "address", "inflight", "forwards", "spills",
+         "primary keys", "replica keys", "hb age"), rows))
+
+    routing = s.get("routing", {})
+    admission = s.get("admission", {})
+    print(f"\nrouting: {s['forwarded']} forwarded, {s['retries']} retried, "
+          f"{s['spills']} spilled, {s['forward_errors']} worker failure(s), "
+          f"{s['not_replayed']} non-idempotent failure(s) not replayed "
+          f"(catalog: {routing.get('catalog', 0)} key(s), per-worker in-flight "
+          f"limit {routing.get('worker_inflight_limit', '?')})")
+    print(f"admission: {admission.get('shed_total', 0)} shed "
+          f"({admission.get('inflight', 0)} in flight now); "
+          f"membership: {m['joins']} join(s), {m['rejoins']} rejoin(s), "
+          f"{m['evictions']} eviction(s), {s['auth_rejected']} auth-rejected")
+    return 0
+
+
 def cmd_bench_serve(args: argparse.Namespace) -> int:
     """Closed-loop serving benchmark: cold pass, warm pass, parity check.
 
     Starts an in-process server on an ephemeral port, drives the mixed
     request list through it twice (cold cache, then warm), and reports
     per-pass latency percentiles plus the warm-over-cold throughput
-    speedup.  ``--verify`` recomputes every distinct point directly and
-    fails on any serve-vs-direct mismatch; a warm pass with a zero hit
-    rate always fails (the cache is the point).  ``--json`` writes the
+    speedup.  ``--duration S`` adds a third, *sustained* pass that
+    keeps cycling the mix closed-loop for S seconds — steady-state
+    p99/throughput/shed numbers the nightly trend gate watches, where
+    the fixed-length passes mostly measure startup.  ``--verify``
+    recomputes every distinct point directly and fails on any
+    serve-vs-direct mismatch; a warm pass with a zero hit rate always
+    fails (the cache is the point).  ``--json`` writes the
     ``BENCH_serve.json`` artifact nightly CI uploads.
     """
     import contextlib
@@ -611,6 +706,11 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         with ServerHandle(config) as handle:
             cold = run_load("127.0.0.1", handle.port, mix, concurrency=args.concurrency)
             warm = run_load("127.0.0.1", handle.port, mix, concurrency=args.concurrency)
+            sustained = None
+            if args.duration is not None:
+                sustained = run_load("127.0.0.1", handle.port, mix,
+                                     concurrency=args.concurrency,
+                                     duration=args.duration)
             server_stats = handle.stats()
 
     failures = []
@@ -630,6 +730,8 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             failures.append(f"parity: {parity['mismatches']} mismatch(es)")
     if cold.stats.errors or warm.stats.errors:
         failures.append(f"errors: {cold.stats.errors} cold, {warm.stats.errors} warm")
+    if sustained is not None and sustained.stats.errors:
+        failures.append(f"errors: {sustained.stats.errors} sustained")
     if warm.stats.hit_rate <= 0.0:
         failures.append("warm pass had zero cache hit rate")
     speedup = (warm.stats.throughput_rps / cold.stats.throughput_rps
@@ -637,13 +739,16 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     if args.min_warm_speedup is not None and speedup < args.min_warm_speedup:
         failures.append(f"warm speedup {speedup:.1f}x < required {args.min_warm_speedup}x")
 
+    passes = [("cold", cold.stats), ("warm", warm.stats)]
+    if sustained is not None:
+        passes.append(("sustained", sustained.stats))
     headers = ("pass", "requests", "rps", "p50 ms", "p90 ms", "p99 ms",
                "hit rate", "shed", "errors")
     rows = [
         (name, s.requests, f"{s.throughput_rps:.0f}", f"{s.p50_ms:.2f}",
          f"{s.p90_ms:.2f}", f"{s.p99_ms:.2f}", f"{s.hit_rate:.0%}",
          s.shed, s.errors)
-        for name, s in (("cold", cold.stats), ("warm", warm.stats))
+        for name, s in passes
     ]
     print(format_table(headers, rows))
     print(f"\nwarm/cold throughput: {speedup:.1f}x  "
@@ -670,6 +775,8 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
                 "scale": args.scale,
                 "cold": asdict(cold.stats),
                 "warm": asdict(warm.stats),
+                "sustained": asdict(sustained.stats) if sustained is not None else None,
+                "duration": args.duration,
                 "warm_speedup": speedup,
                 "parity": parity if args.verify else None,
                 "server": server_stats,
@@ -825,6 +932,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "or ~/.cache/repro-ucnn, shared with the result cache)")
     programs.set_defaults(func=cmd_programs)
 
+    def _tls_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--tls-cert", default=None, metavar="PEM",
+                       help="TLS certificate for this node's sockets "
+                            "(default: $REPRO_FABRIC_TLS_CERT)")
+        p.add_argument("--tls-key", default=None, metavar="PEM",
+                       help="private key matching --tls-cert "
+                            "(default: $REPRO_FABRIC_TLS_KEY)")
+        p.add_argument("--tls-ca", default=None, metavar="PEM",
+                       help="CA bundle peers must chain to; servers then "
+                            "require client certificates "
+                            "(default: $REPRO_FABRIC_TLS_CA)")
+
     peer = sub.add_parser(
         "cache-peer", help="run an HTTP cache peer for cross-machine result sharing")
     peer.add_argument("--host", default="127.0.0.1",
@@ -842,6 +961,7 @@ def build_parser() -> argparse.ArgumentParser:
     peer.add_argument("--secret", default=None,
                       help="shared HMAC secret; requests must be signed "
                            "(default: $REPRO_FABRIC_SECRET)")
+    _tls_flags(peer)
     peer.set_defaults(func=cmd_cache_peer)
 
     def _serve_flags(p: argparse.ArgumentParser, default_port: int) -> None:
@@ -870,6 +990,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--secret", default=None,
                        help="shared HMAC secret; requests must be signed "
                             "(default: $REPRO_FABRIC_SECRET)")
+        _tls_flags(p)
 
     serve = sub.add_parser("serve", help="run the async batched serving layer")
     _serve_flags(serve, default_port=8537)
@@ -894,6 +1015,13 @@ def build_parser() -> argparse.ArgumentParser:
     frontend.add_argument("--secret", default=None,
                           help="shared HMAC secret for the fleet "
                                "(default: $REPRO_FABRIC_SECRET)")
+    frontend.add_argument("--replication", type=int, default=1, metavar="R",
+                          help="replicas (owner included) each key may land "
+                               "on; 1 = single-owner routing")
+    frontend.add_argument("--worker-inflight-limit", type=int, default=32,
+                          help="per-worker outstanding forwards past which "
+                               "load spills to the next replica")
+    _tls_flags(frontend)
     frontend.set_defaults(func=cmd_frontend)
 
     worker = sub.add_parser(
@@ -905,8 +1033,22 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--advertise-host", default=None,
                         help="address the front-end dials back "
                              "(when binding 0.0.0.0)")
+    worker.add_argument("--prewarm-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="periodic replica pre-warm cadence (membership "
+                             "churn always triggers one immediately)")
     _serve_flags(worker, default_port=0)
     worker.set_defaults(func=cmd_worker)
+
+    status = sub.add_parser(
+        "frontend-status",
+        help="print a running front-end's members, load, and replica placement")
+    status.add_argument("frontend", metavar="HOST:PORT",
+                        help="the front-end's address")
+    status.add_argument("--secret", default=None,
+                        help="shared HMAC secret (default: $REPRO_FABRIC_SECRET)")
+    _tls_flags(status)
+    status.set_defaults(func=cmd_frontend_status)
 
     bench = sub.add_parser(
         "bench-serve", help="closed-loop load benchmark against an in-process server")
@@ -920,6 +1062,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-delay-ms", type=float, default=2.0)
     bench.add_argument("--scale", default="full", choices=("smoke", "full"),
                        help="request-mix weight (smoke = lenet-only, CI-cheap)")
+    bench.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                       help="add a sustained pass cycling the mix closed-loop "
+                            "for this long (steady-state numbers for the "
+                            "trend gate)")
     bench.add_argument("--cache-dir", default=None,
                        help="server cache dir (default: fresh temp dir = cold start)")
     bench.add_argument("--verify", action="store_true",

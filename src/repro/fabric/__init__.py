@@ -17,12 +17,18 @@ The pieces (each its own module):
 * :mod:`repro.fabric.admission` — token buckets + queue-depth ladder;
 * :mod:`repro.fabric.membership` — worker registry, heartbeats, ring
   rebalancing;
-* :mod:`repro.fabric.frontend` — the routing front-end node;
-* :mod:`repro.fabric.worker` — the serve-process-with-membership-agent.
+* :mod:`repro.fabric.frontend` — the routing front-end node (R-way
+  replicated routing with load spill and idempotence-aware failover);
+* :mod:`repro.fabric.worker` — the serve-process-with-membership-agent
+  (heartbeats with jitter, replica pre-warm);
+* :mod:`repro.fabric.tls` — optional fleet TLS (:class:`TLSConfig`)
+  layered under the HMAC auth on every socket;
+* :mod:`repro.fabric.chaos` — fault-injection primitives and the
+  scripted kill/restart drill CI gates on.
 
-CLI surface: ``repro frontend`` and ``repro worker --join HOST:PORT``;
-topology and failure paths in ``docs/architecture.md``, wire format in
-``docs/api.md``.
+CLI surface: ``repro frontend``, ``repro worker --join HOST:PORT``,
+and ``repro frontend-status HOST:PORT``; topology and failure paths in
+``docs/architecture.md``, wire format in ``docs/api.md``.
 
 The heavy node classes (``Frontend``/``FrontendHandle``/``WorkerNode``)
 are exported lazily: they pull in :mod:`repro.serve` (and with it the
@@ -42,6 +48,7 @@ from repro.fabric.auth import (
 )
 from repro.fabric.membership import Membership, WorkerInfo
 from repro.fabric.ring import HashRing, ring_hash
+from repro.fabric.tls import TLSConfig, default_tls
 
 _LAZY = {
     "Frontend": "repro.fabric.frontend",
@@ -49,12 +56,17 @@ _LAZY = {
     "FrontendHandle": "repro.fabric.frontend",
     "FrontendStats": "repro.fabric.frontend",
     "WorkerNode": "repro.fabric.worker",
+    "ChaosCluster": "repro.fabric.chaos",
+    "DrillReport": "repro.fabric.chaos",
+    "run_drill": "repro.fabric.chaos",
 }
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "ChaosCluster",
     "DEFAULT_PRIORITY",
+    "DrillReport",
     "Frontend",
     "FrontendConfig",
     "FrontendHandle",
@@ -63,12 +75,15 @@ __all__ = [
     "Membership",
     "PRIORITIES",
     "SECRET_ENV",
+    "TLSConfig",
     "TokenBucket",
     "WorkerInfo",
     "WorkerNode",
     "default_secret",
+    "default_tls",
     "normalize_priority",
     "ring_hash",
+    "run_drill",
     "sign_message",
     "verify_message",
 ]

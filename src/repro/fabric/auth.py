@@ -12,11 +12,15 @@ or unpickling anything.
 
 Scope (and honest limits): the signature authenticates *fleet
 membership and message integrity*.  It does not encrypt traffic and it
-does not prevent replay of a previously captured request — the fabric's
-requests are idempotent reads of pure functions, so replay yields the
-attacker nothing they could not compute themselves, but the secret must
-still travel over trusted channels (env var, orchestration secrets —
-never the wire).  For hostile networks, front the fleet with TLS.
+does not prevent replay of a previously captured request — replay of
+the read endpoints yields the attacker nothing they could not compute
+themselves (and the front-end refuses to replay endpoints not declared
+idempotent), but the secret must still travel over trusted channels
+(env var, orchestration secrets — never the wire).  For hostile
+networks, layer :mod:`repro.fabric.tls` underneath: TLS encrypts and
+authenticates the *transport* (a wrong-CA peer never completes the
+handshake), HMAC authenticates the *request* — run both; see
+``docs/architecture.md`` ("Deployment security").
 
 The secret is configured per process via :data:`SECRET_ENV`
 (``REPRO_FABRIC_SECRET``) or passed explicitly; a ``None`` secret

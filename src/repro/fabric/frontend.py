@@ -9,23 +9,37 @@ computing, it:
    control or data — must carry a valid HMAC before anything happens);
 2. **admits** data requests through :class:`~repro.fabric.admission.AdmissionController`
    (overload answers with a ``shed`` response instead of queueing);
-3. **routes** by consistent hash over the live worker set, so each
-   request key keeps hitting the worker whose engine memos and cache
-   tiers are warm for it;
+3. **routes** by consistent hash over the live worker set — under
+   R-way replication (``replication`` > 1) a key's first R entries in
+   :meth:`~repro.fabric.ring.HashRing.preference` order are its replica
+   set: the owner serves by default, load *spills* to the next replica
+   when the owner is saturated (per-worker in-flight threshold) or
+   sheds, and transport failures retry down the same order;
 4. **forwards** over a pooled pipelined connection and relays the
    worker's response verbatim (plus the worker id).
 
 Failure model: a forward that dies with a transport error *eagerly*
-evicts the worker and retries the next ring owner — safe because every
-data endpoint is an idempotent pure-function read, so re-executing a
-maybe-half-done request cannot corrupt anything.  A worker that dies
-silently between requests is caught by the reaper sweeping heartbeats.
-Either way an acknowledged response is only ever sent after a worker
-actually answered: clients never get an ack for work that was lost.
+evicts the worker and moves down the key's preference list.  Whether
+the request may be *re-sent* depends on the endpoint's declared
+idempotence (:func:`repro.serve.endpoints.is_idempotent`): pure reads
+replay freely on the next replica, while a non-idempotent request that
+*may* have reached a worker is answered with an error instead of being
+replayed — so an acked non-idempotent request is executed at most
+once, and an ack (any ok response) is only ever sent after a worker
+actually answered.  A connect failure (nothing was ever sent) is
+always safe to retry.  A worker that dies silently between requests is
+caught by the reaper sweeping heartbeats.
+
+The front-end also keeps a bounded catalog of recently routed request
+keys; the ``_assignments`` control endpoint replays it per worker so
+replicas can pre-warm the cache entries of every key range they stand
+behind (see :class:`repro.fabric.worker.WorkerNode`).
 
 Control endpoints (worker-facing): ``_join``, ``_heartbeat``,
-``_leave``; introspection: ``_members``, ``_stats``, ``ping``.  Wire
-details in ``docs/api.md``.
+``_leave``, ``_assignments``; introspection: ``_members``, ``_stats``,
+``ping``.  Wire details in ``docs/api.md``.  With a
+:class:`~repro.fabric.tls.TLSConfig` configured, the listening socket
+and every pooled worker connection speak TLS underneath the HMAC layer.
 """
 
 from __future__ import annotations
@@ -35,16 +49,20 @@ import contextlib
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.fabric.admission import AdmissionController
 from repro.fabric.auth import verify_message
 from repro.fabric.membership import Membership, WorkerInfo
+from repro.fabric.tls import TLSConfig, default_tls
 from repro.serve.client import AsyncServeClient
+from repro.serve.endpoints import is_idempotent
 from repro.serve.protocol import MAX_LINE_BYTES, ProtocolError, decode_message, encode_message
 
 #: Control endpoints the front-end answers itself (never forwarded).
-CONTROL_ENDPOINTS = ("_join", "_heartbeat", "_leave", "_members", "_stats", "ping")
+CONTROL_ENDPOINTS = (
+    "_join", "_heartbeat", "_leave", "_assignments", "_members", "_stats", "ping")
 
 
 @dataclass(frozen=True)
@@ -67,6 +85,17 @@ class FrontendConfig:
         forward_retries: maximum distinct workers tried per request.
         auth_secret: shared fleet secret; ``None`` runs the fabric
             open (see :mod:`repro.fabric.auth` for the threat model).
+        replication: R — how many replicas (owner included) each key's
+            requests may land on.  1 keeps the single-owner routing of
+            the pre-replication fabric.
+        worker_inflight_limit: per-worker outstanding-forward threshold
+            past which load spills to the key's next replica.
+        catalog_size: bound on the routed-key catalog backing the
+            ``_assignments`` pre-warm endpoint.
+        tls: TLS identity for the listening socket *and* the pooled
+            worker connections; ``None`` falls back to the
+            ``REPRO_FABRIC_TLS_*`` environment, and with neither the
+            fabric speaks cleartext.
     """
 
     host: str = "127.0.0.1"
@@ -78,10 +107,18 @@ class FrontendConfig:
     forward_timeout: float = 60.0
     forward_retries: int = 3
     auth_secret: str | None = None
+    replication: int = 1
+    worker_inflight_limit: int = 32
+    catalog_size: int = 2048
+    tls: TLSConfig | None = None
 
     def __post_init__(self):
         if self.forward_retries < 1:
             raise ValueError("forward_retries must be >= 1")
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.worker_inflight_limit < 1:
+            raise ValueError("worker_inflight_limit must be >= 1")
 
 
 @dataclass
@@ -93,6 +130,8 @@ class FrontendStats:
     forwarded: int = 0
     forward_errors: int = 0
     retries: int = 0
+    spills: int = 0
+    not_replayed: int = 0
     no_workers: int = 0
     auth_rejected: int = 0
     errors: int = 0
@@ -122,14 +161,21 @@ class Frontend:
         self._clients: dict[str, AsyncServeClient] = {}
         self._client_locks: dict[str, asyncio.Lock] = {}
         self._reaper_task: asyncio.Task | None = None
+        # Routed-key catalog: key -> (endpoint, kwargs), LRU-bounded.
+        # Guarded by a plain lock: the event loop writes, stats readers
+        # and the _assignments walk may come from other threads.
+        self._catalog: OrderedDict[str, tuple[str, dict]] = OrderedDict()
+        self._catalog_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the socket and start the heartbeat reaper."""
+        """Bind the socket (TLS when configured), start the reaper."""
+        resolved_tls = default_tls(self.config.tls)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
-            limit=MAX_LINE_BYTES)
+            limit=MAX_LINE_BYTES,
+            ssl=resolved_tls.server_context() if resolved_tls is not None else None)
         self.port = self._server.sockets[0].getsockname()[1]
         self._reaper_task = asyncio.ensure_future(self._reap_loop())
 
@@ -160,17 +206,57 @@ class Frontend:
 
     def stats_snapshot(self) -> dict:
         """Routing + admission + membership counters, one dict."""
+        with self._catalog_lock:
+            catalog_size = len(self._catalog)
         return {
             "requests": self.stats.requests,
             "forwarded": self.stats.forwarded,
             "forward_errors": self.stats.forward_errors,
             "retries": self.stats.retries,
+            "spills": self.stats.spills,
+            "not_replayed": self.stats.not_replayed,
             "no_workers": self.stats.no_workers,
             "auth_rejected": self.stats.auth_rejected,
             "errors": self.stats.errors,
+            "routing": {
+                "replication": self.config.replication,
+                "worker_inflight_limit": self.config.worker_inflight_limit,
+                "catalog": catalog_size,
+            },
             "admission": self.admission.snapshot(),
             "membership": self.membership.snapshot(),
         }
+
+    def assignments(self, worker_id: str | None = None) -> dict:
+        """Replica assignments derived from the routed-key catalog.
+
+        With ``worker_id``: every cataloged request whose top-R
+        preference includes that worker, annotated with its replica
+        ``rank`` (0 = owner) — the worker's pre-warm work list.
+        Without: a per-worker ``{"primary": n, "replica": n}`` summary
+        (the operator view behind ``repro frontend-status``).
+        """
+        with self._catalog_lock:
+            catalog = list(self._catalog.items())
+        want = max(1, self.config.replication)
+        if worker_id is not None:
+            entries = []
+            for key, (endpoint, kwargs) in catalog:
+                prefs = [w.worker_id for w in self.membership.preference(key, want)]
+                if worker_id in prefs:
+                    entries.append({"endpoint": endpoint, "kwargs": kwargs,
+                                    "rank": prefs.index(worker_id)})
+            return {"worker_id": worker_id, "version": self.membership.version,
+                    "replication": want, "entries": entries}
+        summary: dict[str, dict] = {
+            w.worker_id: {"primary": 0, "replica": 0} for w in self.membership.workers()}
+        for key, _ in catalog:
+            for rank, info in enumerate(self.membership.preference(key, want)):
+                slot = summary.get(info.worker_id)
+                if slot is not None:
+                    slot["primary" if rank == 0 else "replica"] += 1
+        return {"version": self.membership.version, "replication": want,
+                "catalog": len(catalog), "workers": summary}
 
     # -- connection plumbing (same shape as repro.serve.server) --------
 
@@ -262,11 +348,20 @@ class Frontend:
                 "worker_id": info.worker_id,
                 "workers": len(self.membership),
                 "heartbeat_timeout": self.membership.heartbeat_timeout,
+                "version": self.membership.version,
+                "replication": self.config.replication,
             }, started)
         if name == "_heartbeat":
             known = self.membership.heartbeat(str(kwargs["worker_id"]))
-            # known=False tells an evicted-but-alive worker to re-join.
-            return self._ok(rid, {"known": known}, started)
+            # known=False tells an evicted-but-alive worker to re-join;
+            # the version lets it detect churn and re-run its pre-warm.
+            return self._ok(rid, {"known": known,
+                                  "version": self.membership.version}, started)
+        if name == "_assignments":
+            worker_id = kwargs.get("worker_id")
+            return self._ok(
+                rid, self.assignments(None if worker_id is None else str(worker_id)),
+                started)
         if name == "_leave":
             left = self.membership.leave(str(kwargs["worker_id"]))
             return self._ok(rid, {"left": left}, started)
@@ -288,50 +383,121 @@ class Frontend:
             }
         try:
             key = name + ":" + json.dumps(kwargs, sort_keys=True, separators=(",", ":"))
+            self._remember(key, name, kwargs)
+            idempotent = is_idempotent(name)
+            attempted: set[str] = set()
+            shed_response = None
             for attempt in range(self.config.forward_retries):
-                info = self.membership.route(key)
+                info, spilled = self._select(key, attempted)
                 if info is None:
-                    self.stats.no_workers += 1
-                    return {"id": rid, "ok": False, "status": 503,
-                            "error": "no live workers in the fabric",
-                            "elapsed_ms": (time.perf_counter() - started) * 1000.0}
+                    if not attempted:
+                        self.stats.no_workers += 1
+                        return self._fail(rid, "no live workers in the fabric", started)
+                    break  # every replica tried
+                attempted.add(info.worker_id)
+                if spilled:
+                    self.stats.spills += 1
+                if not self.membership.begin_forward(info.worker_id, spilled=spilled):
+                    continue  # vanished between selection and accounting
                 try:
-                    response = await self._forward_once(info, name, kwargs, priority)
-                except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
-                    # The worker is gone (SIGKILL, crash, partition) or
-                    # wedged: evict it so the ring reroutes *now*, drop
-                    # its pooled link, and retry on the next owner.
-                    # Data endpoints are pure reads — re-execution is
-                    # free of side effects, so no ack is ever lost.
-                    self.stats.forward_errors += 1
-                    reason = "timeout" if isinstance(exc, asyncio.TimeoutError) else "connection"
-                    self.membership.evict(info.worker_id, reason)
-                    await self._drop_client(info.worker_id)
-                    if attempt + 1 < self.config.forward_retries:
-                        self.stats.retries += 1
+                    try:
+                        client = await self._client_for(info)
+                    except (ConnectionError, OSError, asyncio.TimeoutError):
+                        # The dial itself failed: nothing was ever sent,
+                        # so the next replica is safe for any endpoint.
+                        self._note_dead(info, "connection", attempt)
+                        await self._drop_client(info.worker_id)
+                        continue
+                    try:
+                        response = await asyncio.wait_for(
+                            client.send(name, kwargs, priority=priority),
+                            timeout=self.config.forward_timeout)
+                    except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                        # The request may have reached the worker before
+                        # the transport died — replay is only safe for
+                        # endpoints declared idempotent.
+                        reason = ("timeout" if isinstance(exc, asyncio.TimeoutError)
+                                  else "connection")
+                        self._note_dead(info, reason, attempt)
+                        await self._drop_client(info.worker_id)
+                        if idempotent:
+                            continue
+                        self.stats.not_replayed += 1
+                        return self._fail(
+                            rid,
+                            f"worker {info.worker_id} failed mid-request ({reason}); "
+                            f"{name!r} is not idempotent, so the request was not "
+                            "replayed on another replica", started)
+                finally:
+                    self.membership.end_forward(info.worker_id)
+                if response.shed and self.config.replication > 1:
+                    # A worker-side shed was never executed, so the next
+                    # replica may take it — idempotence is irrelevant.
+                    shed_response = (response, info.worker_id)
+                    self.stats.spills += 1
                     continue
-                self.stats.forwarded += 1
-                payload = {
-                    "id": rid, "ok": response.ok, "value": response.value,
-                    "cached": response.cached, "coalesced": response.coalesced,
-                    "shard": response.shard, "worker": info.worker_id,
-                    "elapsed_ms": (time.perf_counter() - started) * 1000.0,
-                }
-                if response.error is not None:
-                    payload["error"] = response.error
-                return payload
-            return {"id": rid, "ok": False, "status": 503,
-                    "error": f"forward failed after {self.config.forward_retries} workers",
-                    "elapsed_ms": (time.perf_counter() - started) * 1000.0}
+                return self._relay(rid, response, info.worker_id, started)
+            if shed_response is not None:
+                response, worker_id = shed_response
+                return self._relay(rid, response, worker_id, started)
+            return self._fail(
+                rid, f"forward failed after {len(attempted) or 1} worker(s)", started)
         finally:
             self.admission.release()
 
-    async def _forward_once(self, info: WorkerInfo, name: str, kwargs: dict,
-                            priority: str | None):
-        client = await self._client_for(info)
-        return await asyncio.wait_for(
-            client.send(name, kwargs, priority=priority),
-            timeout=self.config.forward_timeout)
+    def _select(self, key: str, attempted: set[str]) -> tuple[WorkerInfo | None, bool]:
+        """Choose the forwarding replica for ``key``.
+
+        Walks ``preference(key, R)`` minus already-attempted workers:
+        the first replica under the in-flight threshold wins; if every
+        candidate is saturated the least-loaded one takes the request
+        (admission control, not routing, bounds total load).  Returns
+        ``(worker, spilled)`` where ``spilled`` means a live earlier
+        replica was skipped because of load.
+        """
+        prefs = self.membership.preference(key, max(1, self.config.replication))
+        candidates = [w for w in prefs if w.worker_id not in attempted]
+        if not candidates:
+            return None, False
+        limit = self.config.worker_inflight_limit
+        for index, info in enumerate(candidates):
+            if info.inflight < limit:
+                return info, index > 0
+        return min(candidates, key=lambda w: w.inflight), False
+
+    def _remember(self, key: str, name: str, kwargs: dict) -> None:
+        """LRU-note one routed request for the ``_assignments`` catalog."""
+        with self._catalog_lock:
+            self._catalog[key] = (name, dict(kwargs))
+            self._catalog.move_to_end(key)
+            while len(self._catalog) > self.config.catalog_size:
+                self._catalog.popitem(last=False)
+
+    def _note_dead(self, info: WorkerInfo, reason: str, attempt: int) -> None:
+        """Evict a worker after a transport failure; count the retry."""
+        self.stats.forward_errors += 1
+        self.membership.evict(info.worker_id, reason)
+        if attempt + 1 < self.config.forward_retries:
+            self.stats.retries += 1
+
+    def _relay(self, rid: int, response, worker_id: str, started: float) -> dict:
+        self.stats.forwarded += 1
+        payload = {
+            "id": rid, "ok": response.ok, "value": response.value,
+            "cached": response.cached, "coalesced": response.coalesced,
+            "shard": response.shard, "worker": worker_id,
+            "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+        }
+        if response.shed:
+            payload["shed"] = True
+            payload["status"] = 503
+        if response.error is not None:
+            payload["error"] = response.error
+        return payload
+
+    def _fail(self, rid: int, error: str, started: float) -> dict:
+        return {"id": rid, "ok": False, "status": 503, "error": error,
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0}
 
     async def _client_for(self, info: WorkerInfo) -> AsyncServeClient:
         """The pooled pipelined connection to one worker (dial once)."""
@@ -340,7 +506,8 @@ class Frontend:
             client = self._clients.get(info.worker_id)
             if client is None:
                 client = await AsyncServeClient.connect(
-                    info.host, info.port, secret=self.config.auth_secret)
+                    info.host, info.port, secret=self.config.auth_secret,
+                    tls=self.config.tls)
                 self._clients[info.worker_id] = client
             return client
 

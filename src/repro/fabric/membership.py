@@ -40,6 +40,10 @@ class WorkerInfo:
         host/port: the worker's serve address (where forwards go).
         joined_at/last_heartbeat: monotonic timestamps.
         forwards: requests this worker has been handed (routing stat).
+        inflight: forwards currently outstanding on this worker — the
+            signal replica spill decisions key off.
+        spills: forwards this worker received *because* an earlier
+            replica in the preference order was saturated.
     """
 
     worker_id: str
@@ -48,6 +52,8 @@ class WorkerInfo:
     joined_at: float = 0.0
     last_heartbeat: float = 0.0
     forwards: int = 0
+    inflight: int = 0
+    spills: int = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -61,6 +67,8 @@ class WorkerInfo:
             "age_s": round(time.monotonic() - self.joined_at, 3),
             "heartbeat_age_s": round(time.monotonic() - self.last_heartbeat, 3),
             "forwards": self.forwards,
+            "inflight": self.inflight,
+            "spills": self.spills,
         }
 
 
@@ -95,7 +103,19 @@ class Membership:
         self._lock = threading.Lock()
         self._workers: dict[str, WorkerInfo] = {}
         self._ring = HashRing(replicas=replicas)
+        self._version = 0
         self.stats = MembershipStats()
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped whenever the ring composition changes.
+
+        Join/heartbeat replies carry it, so workers detect membership
+        churn (someone joined, someone died) without polling ``_members``
+        and re-run their replica pre-warm exactly when placement moved.
+        """
+        with self._lock:
+            return self._version
 
     # -- lifecycle -----------------------------------------------------
 
@@ -116,6 +136,7 @@ class Membership:
                                   joined_at=now, last_heartbeat=now)
                 self._workers[worker_id] = info
                 self._ring.add(worker_id)
+                self._version += 1
                 self.stats.joins += 1
             else:
                 existing.host, existing.port = str(host), int(port)
@@ -144,6 +165,7 @@ class Membership:
             if self._workers.pop(worker_id, None) is None:
                 return False
             self._ring.remove(worker_id)
+            self._version += 1
             self.stats.leaves += 1
             return True
 
@@ -153,6 +175,7 @@ class Membership:
             if self._workers.pop(worker_id, None) is None:
                 return False
             self._ring.remove(worker_id)
+            self._version += 1
             self.stats.evictions += 1
             self.stats.eviction_reasons[reason] = (
                 self.stats.eviction_reasons.get(reason, 0) + 1)
@@ -171,6 +194,7 @@ class Membership:
             for worker_id in stale:
                 del self._workers[worker_id]
                 self._ring.remove(worker_id)
+                self._version += 1
                 self.stats.evictions += 1
                 self.stats.eviction_reasons["heartbeat"] = (
                     self.stats.eviction_reasons.get("heartbeat", 0) + 1)
@@ -187,6 +211,45 @@ class Membership:
             info = self._workers[worker_id]
             info.forwards += 1
             return info
+
+    def preference(self, key: str, limit: int) -> list[WorkerInfo]:
+        """The first ``limit`` distinct replicas for ``key``, ring order.
+
+        Element 0 is the owner; the rest are the failover/spill targets
+        in placement order.  Unlike :meth:`route` this bumps no
+        counters — accounting happens in :meth:`begin_forward` once a
+        replica is actually chosen.
+        """
+        with self._lock:
+            return [self._workers[w] for w in self._ring.preference(key, limit)]
+
+    def begin_forward(self, worker_id: str, spilled: bool = False) -> bool:
+        """Account one forward starting on ``worker_id``.
+
+        Args:
+            worker_id: the chosen replica.
+            spilled: the choice skipped a saturated earlier replica.
+
+        Returns:
+            ``False`` when the worker vanished between selection and
+            accounting (caller re-selects).
+        """
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is None:
+                return False
+            info.forwards += 1
+            info.inflight += 1
+            if spilled:
+                info.spills += 1
+            return True
+
+    def end_forward(self, worker_id: str) -> None:
+        """Account one forward finishing (worker may already be gone)."""
+        with self._lock:
+            info = self._workers.get(worker_id)
+            if info is not None and info.inflight > 0:
+                info.inflight -= 1
 
     def get(self, worker_id: str) -> WorkerInfo | None:
         """Look one worker up by id."""
@@ -209,6 +272,7 @@ class Membership:
                 "workers": [self._workers[w].describe() for w in sorted(self._workers)],
                 "ring_nodes": list(self._ring.nodes),
                 "replicas": self._ring.replicas,
+                "version": self._version,
                 "heartbeat_timeout": self.heartbeat_timeout,
                 "joins": self.stats.joins,
                 "rejoins": self.stats.rejoins,

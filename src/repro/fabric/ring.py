@@ -111,15 +111,23 @@ class HashRing:
     def preference(self, key: str, limit: int | None = None) -> list[str]:
         """Distinct nodes in ring order starting at ``key``'s owner.
 
-        The failover sequence: if the owner is unreachable, the next
-        entries are where the key should land — each subsequent choice
-        is itself consistent (every caller agrees on the same order).
+        This single order serves two fabric roles at once:
+
+        * **failover sequence** — if the owner is unreachable, the next
+          entries are where the key should land, and every caller agrees
+          on the same order;
+        * **replica placement** — under R-way replication the first R
+          entries *are* the key's replica set: the front-end spills and
+          retries within ``preference(key, R)``, and a worker pre-warms
+          exactly the keys whose first R entries include it.  Because the
+          order is consistent, replica sets also move minimally on
+          membership churn (pinned by the hypothesis suite).
 
         Args:
             key: the routing key.
             limit: maximum nodes to return (default: all members).
         """
-        if not self._hashes:
+        if not self._hashes or (limit is not None and limit <= 0):
             return []
         want = len(self._nodes) if limit is None else min(limit, len(self._nodes))
         start = bisect.bisect_right(self._hashes, ring_hash(key))

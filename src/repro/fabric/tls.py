@@ -1,0 +1,147 @@
+"""Fleet TLS: one certificate identity per node, one private CA.
+
+HMAC (:mod:`repro.fabric.auth`) authenticates fabric and cache-peer
+traffic but does not encrypt it; this module supplies the transport
+layer underneath.  Every node holds one cert/key pair and trusts one
+CA, and uses that single identity both when listening (frontend, serve
+socket, cache peer) and when dialing (forwarding, heartbeats, tier
+reads).  With a CA configured, both directions require the remote end
+to present a certificate chaining to it — so a client holding a cert
+from the wrong CA fails the TLS handshake before a single byte of
+application data (and therefore before HMAC) is examined.
+
+Configuration mirrors the shared-secret convention: explicit
+:class:`TLSConfig` arguments win, the ``REPRO_FABRIC_TLS_CERT`` /
+``REPRO_FABRIC_TLS_KEY`` / ``REPRO_FABRIC_TLS_CA`` environment
+variables are the ambient fallback (:func:`default_tls`), and with
+neither the fleet speaks cleartext.
+
+Hostname verification is off by default: fleet members are addressed by
+whatever IP the membership table advertises, and the trust decision is
+"does the peer hold a key signed by *our* CA", not "does its name match
+a DNS record".  Set ``check_hostname=True`` (or
+``REPRO_FABRIC_TLS_CHECK_HOSTNAME=1``) when certs carry real SANs.
+"""
+
+from __future__ import annotations
+
+import os
+import ssl
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+#: Environment variables consulted by :func:`default_tls`.
+CERT_ENV = "REPRO_FABRIC_TLS_CERT"
+KEY_ENV = "REPRO_FABRIC_TLS_KEY"
+CA_ENV = "REPRO_FABRIC_TLS_CA"
+CHECK_HOSTNAME_ENV = "REPRO_FABRIC_TLS_CHECK_HOSTNAME"
+
+
+class TLSConfigError(ValueError):
+    """A TLS configuration that cannot produce the requested context."""
+
+
+@dataclass(frozen=True)
+class TLSConfig:
+    """Paths describing one node's TLS identity and trust anchor.
+
+    Attributes:
+        certfile: PEM certificate this node presents (server or client).
+        keyfile: PEM private key matching ``certfile``.
+        cafile: PEM CA bundle the remote end must chain to.  On the
+            server side this turns on *mutual* TLS (clients without an
+            acceptable cert are dropped at the handshake); on the
+            client side it is the trust anchor for the server cert.
+        check_hostname: verify the server cert's SAN matches the dialed
+            host (off by default; see module docstring).
+    """
+
+    certfile: str | None = None
+    keyfile: str | None = None
+    cafile: str | None = None
+    check_hostname: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any TLS material is configured at all."""
+        return bool(self.certfile or self.keyfile or self.cafile)
+
+    def server_context(self) -> ssl.SSLContext:
+        """The listening-side context.
+
+        Requires ``certfile`` + ``keyfile``.  When ``cafile`` is also
+        set, client certificates are *required* and must chain to it
+        (mutual TLS) — the wrong-CA rejection the chaos drill asserts.
+
+        Raises:
+            TLSConfigError: no certificate/key to present.
+        """
+        if not (self.certfile and self.keyfile):
+            raise TLSConfigError(
+                "TLS server needs --tls-cert and --tls-key "
+                f"(got cert={self.certfile!r}, key={self.keyfile!r})")
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        context.minimum_version = ssl.TLSVersion.TLSv1_2
+        context.load_cert_chain(self.certfile, self.keyfile)
+        if self.cafile:
+            context.load_verify_locations(cafile=self.cafile)
+            context.verify_mode = ssl.CERT_REQUIRED
+        return context
+
+    def client_context(self) -> ssl.SSLContext:
+        """The dialing-side context.
+
+        Requires ``cafile`` (the server must chain to *our* CA; system
+        trust is deliberately not consulted).  ``certfile``/``keyfile``,
+        when present, are offered for mutual TLS.
+
+        Raises:
+            TLSConfigError: no CA to verify the server against.
+        """
+        if not self.cafile:
+            raise TLSConfigError(
+                "TLS client needs --tls-ca (the fleet CA to verify servers against)")
+        context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+        context.minimum_version = ssl.TLSVersion.TLSv1_2
+        context.check_hostname = self.check_hostname
+        context.verify_mode = ssl.CERT_REQUIRED
+        context.load_verify_locations(cafile=self.cafile)
+        if self.certfile and self.keyfile:
+            context.load_cert_chain(self.certfile, self.keyfile)
+        return context
+
+
+def from_env(environ: Mapping[str, str] | None = None) -> TLSConfig | None:
+    """Build a :class:`TLSConfig` from ``REPRO_FABRIC_TLS_*``, if any set."""
+    env = os.environ if environ is None else environ
+    cert = env.get(CERT_ENV) or None
+    key = env.get(KEY_ENV) or None
+    ca = env.get(CA_ENV) or None
+    if not (cert or key or ca):
+        return None
+    check = str(env.get(CHECK_HOSTNAME_ENV, "")).lower() in ("1", "true", "yes")
+    return TLSConfig(certfile=cert, keyfile=key, cafile=ca, check_hostname=check)
+
+
+def default_tls(explicit: TLSConfig | None = None) -> TLSConfig | None:
+    """Resolve the effective TLS config: explicit wins, then env, else None."""
+    if explicit is not None:
+        return explicit if explicit.enabled else None
+    return from_env()
+
+
+def client_context_for(tls: TLSConfig | None, url_or_scheme: str = "") -> ssl.SSLContext | None:
+    """A client context when TLS applies, else ``None``.
+
+    Args:
+        tls: explicit config (``None`` falls back to the environment).
+        url_or_scheme: when it starts with ``https`` and no config is
+            found anywhere, a default system-trust context is returned
+            so plain ``https://`` peer URLs still work.
+    """
+    resolved = default_tls(tls)
+    if resolved is not None:
+        return resolved.client_context()
+    if url_or_scheme.startswith("https"):
+        return ssl.create_default_context()
+    return None

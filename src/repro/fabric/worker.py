@@ -19,10 +19,26 @@ server pulls the fleet's compiled-program artifacts *before* its
 socket binds — so by the time this node joins the ring and the
 front-end routes to it, every program another node has compiled is
 already a warm cache hit here (compile once, execute everywhere).
+
+Under R-way replication the agent also keeps this node warm for every
+key range it *backs up*, not just the ranges it owns: whenever the
+heartbeat reply reports a membership-version change (someone joined or
+died, so replica placement moved), and on a slow periodic cadence
+regardless, it re-pulls the fleet's program artifacts and walks the
+front-end's ``_assignments`` catalog, promoting the cache entries of
+its replica keys into the local tier.  That steady background warmth
+is what makes failover free: when a primary is SIGKILLed, the next
+replica already holds the programs and results, so rerouted traffic
+costs zero recompiles.
+
+Heartbeat intervals carry ±20% jitter: after a mass restart (deploy,
+power event) hundreds of workers would otherwise heartbeat in phase
+forever, hammering the front-end in synchronized bursts.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
@@ -33,8 +49,15 @@ from repro.serve.server import ServeConfig, ServerHandle
 #: a worker can be declared dead by silence alone).
 HEARTBEATS_PER_TIMEOUT = 3.0
 
+#: Fractional jitter applied to every heartbeat interval (±20%).
+HEARTBEAT_JITTER = 0.2
+
 #: Seconds between reconnect attempts when the front-end is down.
 RECONNECT_BACKOFF = 0.5
+
+#: Default seconds between periodic replica pre-warm refreshes (also
+#: triggered immediately by any membership-version change).
+PREWARM_INTERVAL = 5.0
 
 
 class WorkerNode:
@@ -53,20 +76,27 @@ class WorkerNode:
             (``0.0.0.0`` binds).
         heartbeat_interval: seconds between heartbeats; default derives
             from the front-end's advertised timeout
-            (timeout / :data:`HEARTBEATS_PER_TIMEOUT`).
+            (timeout / :data:`HEARTBEATS_PER_TIMEOUT`).  Every actual
+            wait is jittered by ±:data:`HEARTBEAT_JITTER`.
+        prewarm_interval: seconds between periodic replica pre-warm
+            refreshes (``None``: :data:`PREWARM_INTERVAL`; membership
+            churn triggers a refresh immediately regardless).
 
     Use as a context manager, or :meth:`start` / :meth:`stop`.
     """
 
     def __init__(self, config: ServeConfig, frontend_host: str, frontend_port: int,
                  worker_id: str | None = None, advertise_host: str | None = None,
-                 heartbeat_interval: float | None = None):
+                 heartbeat_interval: float | None = None,
+                 prewarm_interval: float | None = None):
         self.config = config
         self.frontend_host = frontend_host
         self.frontend_port = frontend_port
         self.worker_id = worker_id
         self.advertise_host = advertise_host or config.host
         self.heartbeat_interval = heartbeat_interval
+        self.prewarm_interval = PREWARM_INTERVAL if prewarm_interval is None \
+            else prewarm_interval
         self.handle = ServerHandle(config)
         self.port: int | None = None
         self._agent: threading.Thread | None = None
@@ -75,6 +105,12 @@ class WorkerNode:
         self._client_lock = threading.Lock()
         self.heartbeats_sent = 0
         self.rejoins = 0
+        self.prewarms = 0
+        self.replica_warmth: dict | None = None
+        self._seen_version: int | None = None
+        self._last_prewarm = 0.0
+        self._prewarm_lock = threading.Lock()
+        self._prewarm_thread: threading.Thread | None = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -91,6 +127,10 @@ class WorkerNode:
         self.port = self.handle.port
         if self.worker_id is None:
             self.worker_id = f"worker-{self.advertise_host}:{self.port}"
+        # Expose the agent's gauges over the serve-wire ``_stats``
+        # endpoint: drills and ``repro frontend-status`` read warmth
+        # remotely without a second control channel.
+        self.handle.server.extra_stats = self._agent_stats
         try:
             reply = self._join()
         except BaseException:
@@ -99,6 +139,12 @@ class WorkerNode:
         if self.heartbeat_interval is None:
             timeout = float(reply.get("heartbeat_timeout", 1.5))
             self.heartbeat_interval = timeout / HEARTBEATS_PER_TIMEOUT
+        version = reply.get("version")
+        if version is not None:
+            self._seen_version = int(version)
+        # Warm this node for its replica ranges right away: the ring
+        # just changed by definition (we joined it).
+        self._schedule_prewarm("join")
         self._agent = threading.Thread(
             target=self._agent_loop, name=f"repro-worker-agent-{self.worker_id}",
             daemon=True)
@@ -119,10 +165,23 @@ class WorkerNode:
         self._close_client()
         self.handle.stop()
 
+    def _agent_stats(self) -> dict:
+        """The membership agent's gauges (merged into ``_stats``)."""
+        return {
+            "replica_prewarm": {
+                "runs": self.prewarms,
+                "interval_s": self.prewarm_interval,
+                "last": self.replica_warmth,
+            },
+        }
+
     def stats(self) -> dict:
         """The wrapped server's counters (including the ``programs``
-        sub-dict with the pre-warm report when one ran)."""
-        return self.handle.stats()
+        sub-dict with the pre-warm report when one ran), plus this
+        agent's replica-warmth report under ``replica_prewarm``."""
+        stats = self.handle.stats()
+        stats.update(self._agent_stats())
+        return stats
 
     def __enter__(self) -> WorkerNode:
         return self.start()
@@ -137,7 +196,7 @@ class WorkerNode:
             if self._client is None:
                 self._client = ServeClient(
                     self.frontend_host, self.frontend_port,
-                    secret=self.config.auth_secret)
+                    secret=self.config.auth_secret, tls=self.config.tls)
             return self._client
 
     def _close_client(self) -> None:
@@ -160,18 +219,32 @@ class WorkerNode:
                 f"front-end refused join for {self.worker_id!r}: {response.error}")
         return response.value or {}
 
-    def _agent_loop(self) -> None:
+    def _jittered_interval(self) -> float:
+        """One heartbeat wait: the base interval ±20%.
+
+        The jitter decorrelates heartbeat phases across a fleet that
+        (re)started simultaneously — without it a mass restart produces
+        synchronized heartbeat bursts at the front-end forever.
+        """
         assert self.heartbeat_interval is not None
-        while not self._stop.wait(self.heartbeat_interval):
+        return self.heartbeat_interval * random.uniform(
+            1.0 - HEARTBEAT_JITTER, 1.0 + HEARTBEAT_JITTER)
+
+    def _agent_loop(self) -> None:
+        while not self._stop.wait(self._jittered_interval()):
             try:
                 response = self._connect().send(
                     "_heartbeat", {"worker_id": self.worker_id})
                 self.heartbeats_sent += 1
-                if response.ok and not (response.value or {}).get("known", True):
+                value = response.value or {}
+                if response.ok and not value.get("known", True):
                     # Evicted while we were alive (partition healed, or
                     # the front-end restarted): claim our range back.
-                    self._join()
+                    reply = self._join()
                     self.rejoins += 1
+                    value = {"version": reply.get("version", value.get("version"))}
+                if response.ok:
+                    self._maybe_prewarm(value.get("version"))
             except Exception:
                 # Front-end unreachable: drop the link and retry after
                 # a short backoff; the serve socket stays up regardless.
@@ -183,3 +256,85 @@ class WorkerNode:
                     self.rejoins += 1
                 except Exception:
                     pass  # still down; next tick tries again
+
+    # -- replica pre-warm ----------------------------------------------
+
+    def _maybe_prewarm(self, version) -> None:
+        """Trigger a pre-warm on membership churn or the periodic cadence."""
+        if version is not None and version != self._seen_version:
+            self._seen_version = int(version)
+            self._schedule_prewarm("membership")
+        elif time.monotonic() - self._last_prewarm >= self.prewarm_interval:
+            self._schedule_prewarm("periodic")
+
+    def _schedule_prewarm(self, reason: str) -> None:
+        """Run one pre-warm on a background thread, single-flighted.
+
+        A refresh already in progress absorbs the trigger — the next
+        periodic tick catches anything it raced past.
+        """
+        with self._prewarm_lock:
+            if self._prewarm_thread is not None and self._prewarm_thread.is_alive():
+                return
+            self._last_prewarm = time.monotonic()
+            self._prewarm_thread = threading.Thread(
+                target=self._replica_prewarm, args=(reason,),
+                name=f"repro-worker-prewarm-{self.worker_id}", daemon=True)
+            self._prewarm_thread.start()
+
+    def _replica_prewarm(self, reason: str) -> None:
+        """Pull programs + promote replica cache entries; never raises.
+
+        Two halves, both best-effort:
+
+        1. **programs** — re-run the artifact-store pre-warm through the
+           server's installed tier, so programs compiled elsewhere in
+           the fleet since the last refresh become local cache hits;
+        2. **results** — ask the front-end which cataloged requests this
+           worker stands behind (``_assignments``) and read each one's
+           cache key through the tiered path, promoting remote entries
+           into the local tier.
+
+        Either half failing (front-end briefly down, peer unreachable)
+        leaves a partial report; the next refresh tries again.
+        """
+        from repro.runtime.cache import MISS
+        from repro.runtime.tiers import TieredCache
+        from repro.serve.endpoints import resolve
+
+        report: dict = {"reason": reason}
+        try:
+            tier = getattr(self.handle.server, "_program_tier", None)
+            if tier is not None:
+                report["programs"] = tier.store.prewarm()
+            cache = self.handle.server.cache
+            if isinstance(cache, TieredCache):
+                # A dedicated connection: the agent thread may be mid-
+                # heartbeat on the pooled one, and ServeClient is not
+                # concurrency-safe.
+                with ServeClient(self.frontend_host, self.frontend_port,
+                                 secret=self.config.auth_secret,
+                                 tls=self.config.tls) as client:
+                    response = client.send(
+                        "_assignments", {"worker_id": self.worker_id})
+                entries = (response.value or {}).get("entries", []) \
+                    if response.ok else []
+                hot = promoted = absent = 0
+                for entry in entries:
+                    try:
+                        fn = resolve(str(entry["endpoint"]))
+                        key = cache.key_for(fn, dict(entry["kwargs"]))
+                    except Exception:
+                        continue  # unknown endpoint / malformed kwargs
+                    if cache.get_local(key) is not MISS:
+                        hot += 1
+                    elif cache.get_remote(key) is not MISS:
+                        promoted += 1
+                    else:
+                        absent += 1
+                report["results"] = {"assigned": len(entries), "hot": hot,
+                                     "promoted": promoted, "absent": absent}
+        except Exception as exc:
+            report["error"] = f"{type(exc).__name__}: {exc}"
+        self.replica_warmth = report
+        self.prewarms += 1

@@ -130,7 +130,10 @@ def extract_metrics(kind: str, payload: Mapping) -> list[Metric]:
             if "mean" in stats:
                 metrics.append(Metric(f"kernels.{name}.mean_s", float(stats["mean"]), "lower"))
     elif kind == "serve":
-        for pass_name in ("cold", "warm"):
+        # "sustained" (bench-serve --duration) is the steady-state pass;
+        # absent from fixed-length-only runs, so it gates only once the
+        # history actually carries it.
+        for pass_name in ("cold", "warm", "sustained"):
             stats = payload.get(pass_name)
             if isinstance(stats, Mapping):
                 metrics.extend(_stats_metrics(f"serve.{pass_name}", stats))

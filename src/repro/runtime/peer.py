@@ -54,6 +54,7 @@ import contextlib
 import hashlib
 import json
 import re
+import ssl
 import sys
 import threading
 import time
@@ -61,6 +62,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.fabric.auth import default_secret, verify_http
+from repro.fabric.tls import TLSConfig, default_tls
 from repro.runtime.cache import ResultCache
 from repro.runtime.tiers import CHECKSUM_HEADER, MAX_BLOB_BYTES, HTTPPeerTier
 
@@ -197,10 +199,12 @@ class _PeerServer(ThreadingHTTPServer):
 
     def handle_error(self, request, client_address) -> None:
         exc = sys.exc_info()[1]
-        if isinstance(exc, (ConnectionError, TimeoutError)):
+        if isinstance(exc, (ConnectionError, TimeoutError, ssl.SSLError)):
             # A client hanging up mid-transfer (its timeout, its crash)
             # is fleet-normal, not a peer fault — no traceback spam on a
-            # long-lived peer's stderr.
+            # long-lived peer's stderr.  Same for TLS handshake refusals:
+            # a wrong-CA or plaintext client is *supposed* to be dropped
+            # here, quietly.
             return
         super().handle_error(request, client_address)
 
@@ -223,6 +227,12 @@ class CachePeer:
             a valid ``Authorization`` header, and upstream fetches are
             signed with the same secret (default: the
             ``REPRO_FABRIC_SECRET`` environment variable).
+        tls: a :class:`repro.fabric.tls.TLSConfig`; when it resolves
+            (explicitly or from ``REPRO_FABRIC_TLS_*``), the listening
+            socket speaks HTTPS — a wrong-CA client is dropped in the
+            handshake, before the HMAC header is even read — and
+            :attr:`url` advertises ``https://``.  Upstream fetches use
+            the same identity.
 
     Use as a context manager or via :meth:`start` / :meth:`stop`; the
     listening socket is bound at construction, so :attr:`port` is valid
@@ -231,13 +241,20 @@ class CachePeer:
 
     def __init__(self, root: str | Path | None = None, host: str = "127.0.0.1",
                  port: int = 0, max_bytes: int | None = None,
-                 upstream: str | None = None, secret: str | None = None):
+                 upstream: str | None = None, secret: str | None = None,
+                 tls: TLSConfig | None = None):
         self.cache = ResultCache(root=root, max_bytes=max_bytes, sweep_every=8)
         self.secret = secret if secret is not None else default_secret()
+        self.tls = default_tls(tls)
         self.upstream: HTTPPeerTier | None = (
-            HTTPPeerTier(upstream, secret=self.secret)
+            HTTPPeerTier(upstream, secret=self.secret, tls=self.tls)
             if upstream is not None else None)
         self._server = _PeerServer((host, port), _PeerHandler)
+        if self.tls is not None:
+            # Wrap the *listening* socket: every accepted connection is
+            # handshaken before BaseHTTPRequestHandler reads a byte.
+            self._server.socket = self.tls.server_context().wrap_socket(
+                self._server.socket, server_side=True)
         self._server.peer = self
         self.host = host
         self.port = self._server.server_address[1]
@@ -253,7 +270,8 @@ class CachePeer:
     @property
     def url(self) -> str:
         """Base URL clients pass as ``--remote-cache``."""
-        return f"http://{self.host}:{self.port}"
+        scheme = "https" if self.tls is not None else "http"
+        return f"{scheme}://{self.host}:{self.port}"
 
     def start(self) -> CachePeer:
         """Serve on a daemon thread; returns immediately."""

@@ -62,6 +62,7 @@ from typing import Protocol, runtime_checkable
 
 import repro
 from repro.fabric.auth import default_secret, http_auth_header
+from repro.fabric.tls import TLSConfig, client_context_for
 from repro.runtime.cache import MISS, CacheEntry, ResultCache
 
 #: The only key shape any tier accepts: 64 lowercase hex chars (a
@@ -183,15 +184,26 @@ class HTTPPeerTier:
         secret: shared HMAC secret for request signing (default: the
             ``REPRO_FABRIC_SECRET`` environment variable; ``None``
             sends unsigned requests).
+        tls: a :class:`repro.fabric.tls.TLSConfig` for ``https://``
+            peers (default: the ``REPRO_FABRIC_TLS_*`` environment; a
+            bare ``https://`` URL with no fleet TLS config anywhere
+            verifies against system trust).
     """
 
     name = "peer"
 
     def __init__(self, url: str, timeout: float = 2.0,
                  failure_threshold: int = 3, cooldown: float = 5.0,
-                 secret: str | None = None):
+                 secret: str | None = None, tls: TLSConfig | None = None):
         self.url = url.rstrip("/")
         self.secret = secret if secret is not None else default_secret()
+        if self.url.startswith("https"):
+            context = client_context_for(tls, self.url)
+            self._opener = urllib.request.build_opener(
+                urllib.request.ProxyHandler({}),
+                urllib.request.HTTPSHandler(context=context))
+        else:
+            self._opener = _DIRECT_OPENER
         self.timeout = timeout
         self.failure_threshold = max(1, failure_threshold)
         self.cooldown = cooldown
@@ -205,7 +217,8 @@ class HTTPPeerTier:
 
     @classmethod
     def for_bulk(cls, url: str, timeout: float = 10.0,
-                 secret: str | None = None) -> HTTPPeerTier:
+                 secret: str | None = None,
+                 tls: TLSConfig | None = None) -> HTTPPeerTier:
         """A tier tuned for one-shot bulk sync (push/pull/prewarm).
 
         The serving defaults are wrong for bulk transfers: a 2 s
@@ -214,7 +227,8 @@ class HTTPPeerTier:
         and disables the breaker so every key is honestly attempted and
         every failure is reported, not swallowed.
         """
-        return cls(url, timeout=timeout, failure_threshold=1 << 30, secret=secret)
+        return cls(url, timeout=timeout, failure_threshold=1 << 30, secret=secret,
+                   tls=tls)
 
     # -- tier protocol -------------------------------------------------
 
@@ -341,7 +355,7 @@ class HTTPPeerTier:
                 self.secret, method, path, body or b"")
         request = urllib.request.Request(
             self.url + path, data=body, method=method, headers=headers)
-        return _DIRECT_OPENER.open(request, timeout=self.timeout)  # noqa: S310
+        return self._opener.open(request, timeout=self.timeout)  # noqa: S310
 
     def _admit(self) -> bool:
         with self._lock:
@@ -392,16 +406,19 @@ class TieredCache(ResultCache):
             an :class:`HTTPPeerTier` with ``remote_timeout``).
         negative_ttl: seconds a remote miss is remembered.
         remote_timeout: per-operation timeout when ``remote`` is a URL.
+        tls: TLS config for an ``https://`` peer URL (see
+            :class:`HTTPPeerTier`); ignored for pre-built tiers.
         (remaining args as :class:`ResultCache`.)
     """
 
     def __init__(self, remote: CacheTier | str, root=None, fingerprint=None,
                  max_bytes=None, sweep_every: int = 32,
-                 negative_ttl: float = 30.0, remote_timeout: float = 2.0):
+                 negative_ttl: float = 30.0, remote_timeout: float = 2.0,
+                 tls: TLSConfig | None = None):
         super().__init__(root=root, fingerprint=fingerprint,
                          max_bytes=max_bytes, sweep_every=sweep_every)
         self.remote: CacheTier = (
-            HTTPPeerTier(remote, timeout=remote_timeout)
+            HTTPPeerTier(remote, timeout=remote_timeout, tls=tls)
             if isinstance(remote, str) else remote)
         self.negative_ttl = negative_ttl
         self._tier_lock = threading.Lock()

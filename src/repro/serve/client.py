@@ -20,6 +20,7 @@ import asyncio
 import socket
 
 from repro.fabric.auth import default_secret, normalize_priority, sign_message
+from repro.fabric.tls import TLSConfig, default_tls
 from repro.serve.protocol import MAX_LINE_BYTES, Response, decode_message, encode_message
 
 
@@ -46,14 +47,26 @@ class ServeClient:
         secret: shared fabric secret used to sign requests; defaults to
             ``REPRO_FABRIC_SECRET`` from the environment, ``None`` sends
             unsigned requests (fine against an open server).
+        tls: a :class:`~repro.fabric.tls.TLSConfig` to wrap the
+            connection; defaults to the ``REPRO_FABRIC_TLS_*``
+            environment.  A server/CA mismatch raises ``ssl.SSLError``
+            from the constructor — before any request is signed.
 
     Usable as a context manager; the connection persists across
     requests.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8537, timeout: float = 60.0,
-                 secret: str | None = None):
+                 secret: str | None = None, tls: TLSConfig | None = None):
         self._sock = socket.create_connection((host, port), timeout=timeout)
+        resolved = default_tls(tls)
+        if resolved is not None:
+            try:
+                self._sock = resolved.client_context().wrap_socket(
+                    self._sock, server_hostname=host)
+            except BaseException:
+                self._sock.close()
+                raise
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
         self._secret = secret if secret is not None else default_secret()
@@ -133,15 +146,22 @@ class AsyncServeClient:
 
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 8537,
-                      secret: str | None = None) -> AsyncServeClient:
+                      secret: str | None = None,
+                      tls: TLSConfig | None = None) -> AsyncServeClient:
         """Open a connection and start the response dispatcher.
 
         Args:
             host/port: the server to dial.
             secret: shared fabric secret for request signing; defaults
                 to ``REPRO_FABRIC_SECRET`` from the environment.
+            tls: TLS wrap for the connection; defaults to the
+                ``REPRO_FABRIC_TLS_*`` environment.
         """
-        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+        resolved = default_tls(tls)
+        context = resolved.client_context() if resolved is not None else None
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES, ssl=context,
+            server_hostname=host if context is not None else None)
         return cls(reader, writer, secret=secret)
 
     async def send(self, endpoint: str, kwargs: dict | None = None,

@@ -19,13 +19,22 @@ from collections.abc import Callable
 
 _REGISTRY: dict[str, Callable] = {}
 
+#: Endpoint name -> safe-to-replay flag (see :func:`is_idempotent`).
+_IDEMPOTENT: dict[str, bool] = {}
 
-def register(name: str, fn: Callable | None = None):
+
+def register(name: str, fn: Callable | None = None, idempotent: bool = True):
     """Register an endpoint under ``name``; usable as a decorator.
 
     Args:
         name: wire name clients pass as ``endpoint``.
         fn: the endpoint function; when omitted, returns a decorator.
+        idempotent: whether a retry after a *possibly delivered* request
+            is safe.  The built-ins are pure reads (every call with the
+            same kwargs computes the same value and mutates nothing), so
+            the default is ``True``; endpoints with side effects must
+            pass ``False`` so the fabric front-end never replays them
+            down the replica preference list after a transport failure.
 
     Raises:
         ValueError: if the name is already taken by a different function.
@@ -35,9 +44,20 @@ def register(name: str, fn: Callable | None = None):
         if existing is not None and existing is not func:
             raise ValueError(f"endpoint {name!r} already registered")
         _REGISTRY[name] = func
+        _IDEMPOTENT[name] = bool(idempotent)
         return func
 
     return _add if fn is None else _add(fn)
+
+
+def is_idempotent(name: str) -> bool:
+    """Whether ``name`` may be safely replayed after an ambiguous failure.
+
+    Unknown names answer ``False`` — the safe default for a router that
+    must decide whether a possibly-delivered request can go to the next
+    replica.
+    """
+    return _IDEMPOTENT.get(name, False)
 
 
 def resolve(name: str) -> Callable:

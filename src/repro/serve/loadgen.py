@@ -10,10 +10,12 @@ measured latency distribution is not inflated by client-side queueing
 from __future__ import annotations
 
 import asyncio
+import itertools
 import math
 import time
 from dataclasses import dataclass
 
+from repro.fabric.tls import TLSConfig
 from repro.serve.client import AsyncServeClient
 
 
@@ -112,6 +114,8 @@ async def run_load_async(
     requests: list[tuple],
     concurrency: int = 4,
     secret: str | None = None,
+    tls: TLSConfig | None = None,
+    duration: float | None = None,
 ) -> LoadResult:
     """Run one closed-loop pass from inside an event loop.
 
@@ -123,6 +127,12 @@ async def run_load_async(
             one request in flight.
         secret: shared fabric secret for request signing (default: the
             ``REPRO_FABRIC_SECRET`` environment variable).
+        tls: TLS wrap for the connections (default: the
+            ``REPRO_FABRIC_TLS_*`` environment).
+        duration: when set, ignore the list's length and keep cycling
+            it (still closed-loop) until this many seconds have
+            elapsed — the sustained-load mode behind ``bench-serve
+            --duration``.
 
     Returns:
         a :class:`LoadResult`; records keep request order indices so
@@ -130,34 +140,50 @@ async def run_load_async(
     """
     if concurrency < 1:
         raise ValueError("concurrency must be >= 1")
-    queue: asyncio.Queue = asyncio.Queue()
-    for index, item in enumerate(requests):
-        endpoint, kwargs = item[0], item[1]
-        priority = item[2] if len(item) > 2 else None
-        queue.put_nowait((index, endpoint, kwargs, priority))
+    if not requests:
+        raise ValueError("requests must be non-empty")
+    counter = itertools.count()
+    deadline = None if duration is None else time.perf_counter() + duration
     records: list[RequestRecord] = []
+
+    def next_item() -> tuple | None:
+        """The next (index, endpoint, kwargs, priority), or None: done.
+
+        Single-threaded under the event loop, so the shared counter
+        needs no lock.
+        """
+        index = next(counter)
+        if deadline is None:
+            if index >= len(requests):
+                return None
+        elif time.perf_counter() >= deadline:
+            return None
+        endpoint, kwargs = requests[index % len(requests)][:2]
+        priority = requests[index % len(requests)][2] \
+            if len(requests[index % len(requests)]) > 2 else None
+        return index, endpoint, kwargs, priority
 
     async def worker() -> None:
         try:
-            client = await AsyncServeClient.connect(host, port, secret=secret)
+            client = await AsyncServeClient.connect(host, port, secret=secret, tls=tls)
         except Exception as exc:
             # A dead/unreachable server is a *result* (error records),
             # not a crash of the whole pass: drain this worker's share.
             while True:
-                try:
-                    index, endpoint, kwargs, priority = queue.get_nowait()
-                except asyncio.QueueEmpty:
+                item = next_item()
+                if item is None:
                     return
+                index, endpoint, kwargs, priority = item
                 records.append(RequestRecord(
                     endpoint=endpoint, index=index, ok=False, cached=False,
                     coalesced=False, latency_ms=0.0, error=f"connect failed: {exc}",
                     priority=priority or "normal"))
         try:
             while True:
-                try:
-                    index, endpoint, kwargs, priority = queue.get_nowait()
-                except asyncio.QueueEmpty:
+                item = next_item()
+                if item is None:
                     return
+                index, endpoint, kwargs, priority = item
                 t0 = time.perf_counter()
                 try:
                     response = await client.send(endpoint, kwargs, priority=priority)
@@ -178,7 +204,8 @@ async def run_load_async(
             await client.aclose()
 
     started = time.perf_counter()
-    await asyncio.gather(*(worker() for _ in range(min(concurrency, len(requests) or 1))))
+    workers = concurrency if duration is not None else min(concurrency, len(requests))
+    await asyncio.gather(*(worker() for _ in range(workers)))
     seconds = time.perf_counter() - started
     records.sort(key=lambda r: r.index)
     return LoadResult(stats=summarize(records, seconds), records=tuple(records))
@@ -190,6 +217,8 @@ def run_load(
     requests: list[tuple],
     concurrency: int = 4,
     secret: str | None = None,
+    tls: TLSConfig | None = None,
+    duration: float | None = None,
 ) -> LoadResult:
     """Synchronous wrapper around :func:`run_load_async`.
 
@@ -197,7 +226,8 @@ def run_load(
     (the server runs on its own thread under :class:`ServerHandle`).
     """
     return asyncio.run(
-        run_load_async(host, port, requests, concurrency=concurrency, secret=secret))
+        run_load_async(host, port, requests, concurrency=concurrency, secret=secret,
+                       tls=tls, duration=duration))
 
 
 def default_mix(n: int, scale: str = "smoke") -> list[tuple[str, dict]]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from repro.fabric.auth import verify_message
+from repro.fabric.tls import TLSConfig, default_tls
 from repro.runtime.cache import MISS, ResultCache, fn_identity
 from repro.runtime.tiers import TieredCache
 from repro.serve import endpoints as endpoints_mod
@@ -76,6 +77,10 @@ class ServeConfig:
             per-process program caches (they inherit the warm cache on
             fork-start platforms, and the pulled artifact files are on
             disk either way).
+        tls: TLS identity (:class:`repro.fabric.tls.TLSConfig`) for the
+            listening socket *and* the remote-cache client; ``None``
+            falls back to the ``REPRO_FABRIC_TLS_*`` environment, and
+            with neither the server speaks cleartext.
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +96,7 @@ class ServeConfig:
     remote_timeout: float = 2.0
     auth_secret: str | None = None
     prewarm_programs: bool = False
+    tls: TLSConfig | None = None
 
     def __post_init__(self):
         if self.workers < 1:
@@ -163,7 +169,8 @@ class Server:
             self.cache = TieredCache(
                 remote=self.config.remote_cache, root=self.config.cache_dir,
                 max_bytes=self.config.cache_max_bytes,
-                remote_timeout=self.config.remote_timeout)
+                remote_timeout=self.config.remote_timeout,
+                tls=self.config.tls)
         else:
             self.cache = ResultCache(
                 root=self.config.cache_dir, max_bytes=self.config.cache_max_bytes)
@@ -177,6 +184,10 @@ class Server:
         )
         self.port: int | None = None
         self.programs_prewarmed: dict | None = None
+        # Optional callable merged into stats_snapshot(): a wrapper
+        # (e.g. a fabric WorkerNode) exposes its own gauges over the
+        # wire ``_stats`` endpoint without the server knowing about it.
+        self.extra_stats = None
         self._program_tier = None
         self._inflight: dict[str, asyncio.Future] = {}
         self._server: asyncio.base_events.Server | None = None
@@ -200,6 +211,11 @@ class Server:
         if self.programs_prewarmed is not None:
             programs["prewarm"] = self.programs_prewarmed
         snapshot["programs"] = programs
+        if self.extra_stats is not None:
+            try:
+                snapshot.update(self.extra_stats())
+            except Exception:
+                pass  # a broken gauge must not break _stats
         return snapshot
 
     def _prewarm_programs(self) -> dict:
@@ -212,10 +228,13 @@ class Server:
         """
         from repro.engine.artifacts import ProgramArtifactTier, ProgramStore
         from repro.engine.program import set_artifact_tier
-        store = ProgramStore(
-            root=self.config.cache_dir,
-            remote=self.config.remote_cache,
-            remote_timeout=max(self.config.remote_timeout, 10.0))
+        from repro.runtime.tiers import HTTPPeerTier
+        remote = self.config.remote_cache
+        if isinstance(remote, str) and remote:
+            remote = HTTPPeerTier.for_bulk(
+                remote, timeout=max(self.config.remote_timeout, 10.0),
+                tls=self.config.tls)
+        store = ProgramStore(root=self.config.cache_dir, remote=remote)
         report = store.prewarm()
         self._program_tier = ProgramArtifactTier(store)
         set_artifact_tier(self._program_tier)
@@ -233,9 +252,11 @@ class Server:
             loop = asyncio.get_running_loop()
             self.programs_prewarmed = await loop.run_in_executor(
                 None, self._prewarm_programs)
+        resolved_tls = default_tls(self.config.tls)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
-            limit=MAX_LINE_BYTES)
+            limit=MAX_LINE_BYTES,
+            ssl=resolved_tls.server_context() if resolved_tls is not None else None)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def serve_forever(self) -> None:

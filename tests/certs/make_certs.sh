@@ -1,0 +1,44 @@
+#!/bin/sh
+# Regenerate the committed TLS test fixtures.
+#
+# These are throwaway credentials for loopback tests only -- the private
+# keys are committed on purpose so tests and CI never need openssl at
+# runtime. Never reuse them outside the test suite.
+#
+# Layout:
+#   ca.pem / ca.key       test CA (trust anchor for the fleet fixtures)
+#   node.pem / node.key   fleet identity signed by ca.pem
+#                         (SAN: 127.0.0.1, localhost)
+#   rogue-ca.pem          a *different* CA
+#   rogue.pem / rogue.key identity signed by rogue-ca.pem, same SANs --
+#                         used to prove wrong-CA handshakes are rejected
+set -eu
+cd "$(dirname "$0")"
+DAYS=36500
+SAN="subjectAltName=IP:127.0.0.1,DNS:localhost"
+
+gen_ca() {  # $1 = basename, $2 = CN
+  openssl req -x509 -newkey rsa:2048 -nodes -keyout "$1.key" -out "$1.pem" \
+    -days "$DAYS" -subj "/CN=$2" \
+    -addext "basicConstraints=critical,CA:TRUE" \
+    -addext "keyUsage=critical,keyCertSign,cRLSign"
+}
+
+gen_leaf() {  # $1 = basename, $2 = CN, $3 = CA basename
+  openssl req -newkey rsa:2048 -nodes -keyout "$1.key" -out "$1.csr" \
+    -subj "/CN=$2" -addext "$SAN"
+  openssl x509 -req -in "$1.csr" -CA "$3.pem" -CAkey "$3.key" \
+    -CAcreateserial -days "$DAYS" -out "$1.pem" \
+    -extfile /dev/stdin <<EXT
+$SAN
+keyUsage=critical,digitalSignature,keyEncipherment
+extendedKeyUsage=serverAuth,clientAuth
+EXT
+  rm -f "$1.csr"
+}
+
+gen_ca ca "repro test CA"
+gen_ca rogue-ca "repro rogue CA"
+gen_leaf node repro-test-node ca
+gen_leaf rogue repro-rogue-node rogue-ca
+rm -f ca.srl rogue-ca.srl

@@ -1,0 +1,66 @@
+"""Chaos drill tests: the scripted kill/restart sequence as a test.
+
+The cheap pieces (drill mix, report bookkeeping) run in tier-1; the
+full subprocess drills — real ``python -m repro.cli worker`` processes,
+SIGKILL mid-load, TLS with a rogue CA — are ``slow``-marked, mirroring
+what CI's ``chaos-smoke`` job runs via ``python -m repro.fabric.chaos``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fabric.chaos import DrillReport, _drill_mix, run_drill
+from repro.fabric.tls import TLSConfig
+
+CERTS = Path(__file__).resolve().parents[1] / "certs"
+
+
+class TestDrillPieces:
+    def test_drill_mix_alternates_priorities_over_distinct_seeds(self):
+        mix = _drill_mix(8)
+        assert len(mix) == 8
+        assert all(endpoint == "network_forward" for endpoint, _, _ in mix)
+        assert [priority for _, _, priority in mix] == ["high", "normal"] * 4
+        assert len({kwargs["seed"] for _, kwargs, _ in mix}) == 8
+
+    def test_report_ok_iff_no_violations(self):
+        report = DrillReport(workers=3, replication=2, tls=False)
+        assert report.ok
+        report.violations.append("lost an ack")
+        assert not report.ok
+        rendered = report.render()
+        assert "lost an ack" in rendered and "VIOLATIONS" in rendered
+
+
+@pytest.mark.slow
+class TestDrill:
+    def test_sigkill_mid_load_is_invisible(self, tmp_path):
+        """The acceptance drill: R=2, 3 workers, one SIGKILLed under
+        sustained load — zero lost acked reads, zero recompiles on the
+        survivors, clean rebalance after restart."""
+        report = run_drill(workers=3, replication=2, requests=24,
+                           duration=3.0, base_dir=tmp_path)
+        assert report.ok, report.render()
+        assert report.phases["kill"]["lost"] == 0
+        assert report.phases["restart"]["lost"] == 0
+        # Survivor compile counters did not move across the SIGKILL.
+        baseline = report.phases["warmth"]["compiles"]
+        for worker_id, misses in report.phases["survivors"]["compiles"].items():
+            assert misses == baseline[worker_id]
+
+    def test_drill_over_tls_rejects_the_rogue_ca(self, tmp_path):
+        """Same drill on mutual-TLS sockets; the rogue identity must be
+        dropped in the handshake with the HMAC counter untouched."""
+        fleet = TLSConfig(certfile=str(CERTS / "node.pem"),
+                          keyfile=str(CERTS / "node.key"),
+                          cafile=str(CERTS / "ca.pem"))
+        rogue = TLSConfig(certfile=str(CERTS / "rogue.pem"),
+                          keyfile=str(CERTS / "rogue.key"),
+                          cafile=str(CERTS / "rogue-ca.pem"))
+        report = run_drill(workers=3, replication=2, requests=16,
+                           duration=2.0, tls=fleet, rogue=rogue,
+                           base_dir=tmp_path)
+        assert report.ok, report.render()
+        assert report.phases["wrong_ca"]["outcome"] == "handshake-refused"
+        assert report.phases["wrong_ca"]["auth_rejected_delta"] == 0

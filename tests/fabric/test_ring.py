@@ -111,6 +111,49 @@ def test_join_moves_at_most_its_fair_share(nodes, joiner):
 
 
 @settings(max_examples=30, deadline=None)
+@given(nodes=_node_sets, joiner=st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12),
+    r=st.integers(min_value=2, max_value=3))
+def test_replica_sets_stable_on_join(nodes, joiner, r):
+    """R-way replica sets move minimally on join: a key's new replica
+    set only ever differs from the old one by admitting the joiner —
+    never by reshuffling survivors among themselves.  This is what
+    makes pre-warm cheap: a membership change invalidates at most one
+    replica slot per key."""
+    before = HashRing(nodes, replicas=64)
+    after = HashRing(nodes, replicas=64)
+    grew = after.add(joiner)
+    for k in _keys(300):
+        old = set(before.preference(k, limit=r))
+        new = set(after.preference(k, limit=r))
+        if not grew:
+            assert new == old
+            continue
+        # Every newcomer to the set is the joiner itself; anyone pushed
+        # out was displaced by it, so at most one survivor is demoted.
+        assert new - old <= {joiner}
+        assert len(old - new) <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(nodes=_node_sets, r=st.integers(min_value=2, max_value=3))
+def test_replica_sets_stable_on_leave(nodes, r):
+    """R-way replica sets on leave: surviving replicas keep their
+    membership; the leaver's slot is backfilled by at most one new
+    node per key (the next in preference order)."""
+    leaver = sorted(nodes)[0]
+    before = HashRing(nodes, replicas=64)
+    after = HashRing(nodes, replicas=64)
+    after.remove(leaver)
+    for k in _keys(300):
+        old = set(before.preference(k, limit=r))
+        new = set(after.preference(k, limit=r))
+        # No survivor that stood behind the key walks away from it.
+        assert old - {leaver} <= new
+        assert len(new - old) <= 1
+
+
+@settings(max_examples=30, deadline=None)
 @given(nodes=_node_sets)
 def test_leave_moves_only_the_leavers_keys(nodes):
     """A leave remaps exactly the leaver's keys, nothing else."""

@@ -145,6 +145,30 @@ class TestParity:
             assert record.value == direct_value(endpoint, kwargs), endpoint
 
 
+class TestDurationLoad:
+    def test_duration_mode_cycles_the_mix_until_the_deadline(self, server):
+        """``duration=`` turns the fixed list into a sustained closed
+        loop: the mix repeats until time is up, every issued request is
+        answered, and records map back to mix slots by index order."""
+        mix = default_mix(5)
+        result = run_load("127.0.0.1", server.port, mix, concurrency=4,
+                          duration=1.0)
+        assert result.stats.errors == 0
+        assert result.stats.requests > len(mix)  # it cycled
+        for i, record in enumerate(result.records):
+            endpoint, kwargs = mix[i % len(mix)]
+            assert record.value == direct_value(endpoint, kwargs)
+
+    def test_duration_zero_issues_nothing(self, server):
+        result = run_load("127.0.0.1", server.port, default_mix(5),
+                          concurrency=4, duration=0.0)
+        assert result.stats.requests == 0
+
+    def test_empty_mix_is_rejected(self, server):
+        with pytest.raises(ValueError):
+            run_load("127.0.0.1", server.port, [], duration=1.0)
+
+
 class TestCacheBehaviour:
     def test_warm_pass_is_all_hits(self, server):
         mix = default_mix(20)
